@@ -1,0 +1,120 @@
+"""Shared benchmark infrastructure.
+
+Every ``test_figNN_*.py`` regenerates one of the paper's figures: it runs
+the experiment on the simulator, prints the figure's rows/series, and
+appends them to ``benchmarks/results/figNN.txt`` so EXPERIMENTS.md can
+reference concrete numbers.
+
+Native runs and Mira compilations are cached per workload within one
+benchmark session (results are deterministic: virtual time, seeded data).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.bench.harness import (
+    ExperimentPoint,
+    Sweep,
+    effective_ns,
+    mira_point,
+    native_time_ns,
+    system_point,
+)
+from repro.bench.reporting import format_series, format_sweep_table
+from repro.memsim.cost_model import CostModel
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: one cost model for the whole evaluation
+COST = CostModel()
+
+_native_cache: dict[tuple, float] = {}
+
+
+def cached_native_ns(workload) -> float:
+    key = (workload.name, tuple(sorted(workload.params.items())))
+    if key not in _native_cache:
+        _native_cache[key] = native_time_ns(workload, COST)
+    return _native_cache[key]
+
+
+def record(fig: str, text: str) -> str:
+    """Print a figure's table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{fig}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+    return text
+
+
+def run_sweep(
+    workload,
+    ratios,
+    systems=("fastswap", "leap", "aifm", "mira"),
+    max_iterations: int = 2,
+    num_threads: int = 1,
+) -> Sweep:
+    native = cached_native_ns(workload)
+    sweep = Sweep(workload.name, native)
+    for ratio in ratios:
+        for system in systems:
+            if system == "mira":
+                point, _ = mira_point(
+                    workload,
+                    COST,
+                    ratio,
+                    native,
+                    max_iterations=max_iterations,
+                    num_threads=num_threads,
+                )
+            else:
+                point = system_point(
+                    workload, system, COST, ratio, native, num_threads
+                )
+            sweep.add(point)
+    return sweep
+
+
+def profile_swap(workload, local_bytes: int):
+    """Iteration-0 run: everything in the generic swap section,
+    instrumented.  Returns (source module, RunResult)."""
+    from repro.core import MiraPlan, compile_program, run_plan
+
+    src = workload.build_module()
+    compiled = compile_program(src, MiraPlan.swap_only(), COST, instrument=True)
+    result = run_plan(compiled, COST, local_bytes, workload.data_init)
+    return src, result
+
+
+def planned(workload, local_bytes: int, fraction: float = 0.1, num_threads: int = 1):
+    """Plan sections from a fresh swap profile.  Returns
+    (source module, plan, swap RunResult)."""
+    from repro.core import plan_sections
+
+    src, swap_result = profile_swap(workload, local_bytes)
+    plan = plan_sections(
+        src,
+        COST,
+        local_bytes,
+        swap_result.profiler,
+        fraction=fraction,
+        num_threads=num_threads,
+    )
+    return src, plan, swap_result
+
+
+def run_with_plan(src, plan, local_bytes: int, data_init, num_threads: int = 1):
+    from repro.core import compile_program, run_plan
+
+    compiled = compile_program(src, plan, COST)
+    return run_plan(
+        compiled, COST, local_bytes, data_init, num_threads=num_threads
+    )
+
+
+def overhead_ratio(result) -> float:
+    """The paper's cache performance overhead: far-memory runtime time
+    over remaining execution time (section 4.1)."""
+    runtime = result.runtime_ns
+    exec_ns = result.elapsed_ns - runtime
+    return runtime / exec_ns if exec_ns > 0 else float("inf")

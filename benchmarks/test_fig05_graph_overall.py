@@ -1,0 +1,32 @@
+"""Fig. 5: overall graph-traversal performance vs local-memory size.
+
+Paper result: Mira stays near native across all local-memory sizes while
+FastSwap/Leap degrade steeply as memory shrinks (up to 18x gap) and AIFM
+sits flat but well below the others' best.
+"""
+
+from benchmarks.common import record, run_sweep
+from repro.bench.reporting import format_sweep_table
+from repro.workloads import make_graph_workload
+
+RATIOS = [0.2, 0.35, 0.5, 0.75, 1.0]
+
+
+def test_fig05_graph_overall(benchmark):
+    def experiment():
+        return run_sweep(make_graph_workload(), RATIOS)
+
+    sweep = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("fig05", format_sweep_table(sweep, "Fig. 5: graph traversal, normalized performance"))
+    # shape assertions: Mira dominates the swap systems at small memory...
+    small = min(RATIOS)
+    mira_small = sweep.get("mira", small).normalized_perf
+    fast_small = sweep.get("fastswap", small).normalized_perf
+    assert mira_small > 5 * fast_small
+    # ...and everything but AIFM converges near native at full memory
+    for system in ("mira", "fastswap", "leap"):
+        assert sweep.get(system, 1.0).normalized_perf > 0.7
+    assert sweep.get("aifm", 1.0).normalized_perf < 0.5
+    # Mira's curve is the flattest
+    mira = [p.normalized_perf for p in sweep.series("mira")]
+    assert min(mira) > 0.6

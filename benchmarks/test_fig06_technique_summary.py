@@ -1,0 +1,57 @@
+"""Fig. 6: effect of Mira techniques on the running example.
+
+Adds techniques cumulatively on top of the all-swap baseline: cache
+sections -> +prefetch -> +eviction hints -> +read/write opt -> full
+(+dereference elision).
+"""
+
+from benchmarks.common import COST, cached_native_ns, planned, record, run_with_plan
+from repro.bench.reporting import format_series
+from repro.workloads import make_graph_workload
+
+RATIO = 0.25
+
+STACKS = [
+    ("swap only", None),
+    ("+sections", {"convert"}),
+    ("+prefetch", {"convert", "prefetch"}),
+    ("+evict hints", {"convert", "prefetch", "evict"}),
+    ("+read/write", {"convert", "prefetch", "evict", "readwrite"}),
+    ("full (+elision)", {"convert", "prefetch", "evict", "readwrite", "native", "batching"}),
+]
+
+
+def test_fig06_technique_summary(benchmark):
+    wl = make_graph_workload()
+    native = cached_native_ns(wl)
+    local = int(wl.footprint_bytes() * RATIO)
+
+    def experiment():
+        src, plan, swap_result = planned(wl, local)
+        rows = []
+        for label, options in STACKS:
+            if options is None:
+                rows.append((label, native / swap_result.elapsed_ns))
+                continue
+            variant = plan.without_options(*(plan.options - frozenset(options)))
+            result = run_with_plan(src, variant, local, wl.data_init)
+            wl.verify_results(result.results)
+            rows.append((label, native / result.elapsed_ns))
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record(
+        "fig06",
+        format_series(
+            "Fig. 6: Mira techniques on the graph example (25% local memory)",
+            [r[0] for r in rows],
+            [r[1] for r in rows],
+            "configuration",
+            "normalized perf",
+        ),
+    )
+    by = dict(rows)
+    # sections alone already beat swap; the full stack beats sections alone
+    assert by["+sections"] > by["swap only"]
+    assert by["full (+elision)"] > by["+sections"]
+    assert by["full (+elision)"] >= max(v for k, v in rows if k != "full (+elision)") * 0.95

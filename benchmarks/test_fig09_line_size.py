@@ -1,0 +1,71 @@
+"""Fig. 9: cache performance overhead vs cache-line size, per section.
+
+Paper result: the randomly (indirectly) accessed node section wants the
+smallest line that holds its accessed unit; the sequential edge section
+improves with larger lines up to the network's efficient transfer size
+(~2 KB knee).
+"""
+
+from dataclasses import replace
+
+from benchmarks.common import planned, record, run_with_plan
+from repro.core.plan import SectionPlan
+from repro.workloads import make_graph_workload
+
+RATIO = 0.35
+LINES = [64, 128, 256, 512, 1024, 2048, 4096]
+
+
+def _with_line(plan, section_name: str, line: int):
+    sections = []
+    for sp in plan.sections:
+        if sp.config.name == section_name:
+            cfg = replace(
+                sp.config,
+                line_size=line,
+                size_bytes=max(sp.config.size_bytes, line * 4),
+                fetch_bytes=None,
+            )
+            sections.append(SectionPlan(cfg, list(sp.object_names), sp.per_thread))
+        else:
+            sections.append(sp)
+    return replace(plan, sections=sections)
+
+
+def _section_overhead_ms(result, name: str) -> float:
+    stats = result.memsys.collect_section_stats()[name]
+    return (stats["overhead_ns"] + stats["miss_wait_ns"]) / 1e6
+
+
+def test_fig09_line_size(benchmark):
+    wl = make_graph_workload()
+    local = int(wl.footprint_bytes() * RATIO)
+
+    def experiment():
+        src, plan, _ = planned(wl, local)
+        node_sec = next(
+            sp.config.name for sp in plan.sections if "nodes" in sp.object_names
+        )
+        edge_sec = next(
+            sp.config.name for sp in plan.sections if "edges" in sp.object_names
+        )
+        node_rows, edge_rows = [], []
+        for line in LINES:
+            rn = run_with_plan(src, _with_line(plan, node_sec, line), local, wl.data_init)
+            node_rows.append((line, _section_overhead_ms(rn, node_sec)))
+            re_ = run_with_plan(src, _with_line(plan, edge_sec, line), local, wl.data_init)
+            edge_rows.append((line, _section_overhead_ms(re_, edge_sec)))
+        return node_rows, edge_rows
+
+    node_rows, edge_rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = ["Fig. 9: cache overhead (ms) vs line size"]
+    text.append(f"{'line B':>8} | {'node section':>12} | {'edge section':>12}")
+    for (line, n), (_, e) in zip(node_rows, edge_rows):
+        text.append(f"{line:>8} | {n:>12.3f} | {e:>12.3f}")
+    record("fig09", "\n".join(text))
+    node = dict(node_rows)
+    edge = dict(edge_rows)
+    # node section: small lines beat big lines (amplification hurts)
+    assert node[64] < node[4096]
+    # edge section: the 2 KB line beats tiny lines (per-line costs amortize)
+    assert edge[2048] < edge[64]

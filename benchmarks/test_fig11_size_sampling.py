@@ -1,0 +1,65 @@
+"""Fig. 11: per-section cache overhead at sampled section sizes.
+
+Paper result: the sequentially accessed edge section reaches its best
+overhead at a tiny size and stays flat; the indirectly accessed node
+section and the uniformly random third array improve non-linearly with
+size.
+"""
+
+from dataclasses import replace
+
+from benchmarks.common import planned, record, run_with_plan
+from repro.core.plan import SectionPlan
+from repro.workloads import make_graph_workload
+
+RATIO = 0.5
+FRACTIONS = [0.1, 0.25, 0.5, 0.75, 1.0]
+
+
+def _resized(plan, name, size):
+    sections = []
+    for sp in plan.sections:
+        if sp.config.name == name:
+            size_ = max(sp.config.line_size * 2, size)
+            sections.append(sp.with_size(size_))
+        else:
+            # park other sections at their minimum so the sampled section's
+            # behaviour is isolated (how the controller samples too)
+            sections.append(sp.with_size(sp.config.line_size * 8))
+    return replace(plan, sections=sections)
+
+
+def test_fig11_size_sampling(benchmark):
+    wl = make_graph_workload(with_random_array=True)
+    local = int(wl.footprint_bytes() * RATIO)
+
+    def experiment():
+        src, plan, _ = planned(wl, local)
+        curves = {}
+        for sp in plan.sections:
+            label = "+".join(sp.object_names)
+            full = sp.config.size_bytes
+            points = []
+            for frac in FRACTIONS:
+                trial = _resized(plan, sp.config.name, int(full * frac))
+                result = run_with_plan(src, trial, local, wl.data_init)
+                stats = result.memsys.collect_section_stats()[sp.config.name]
+                points.append(
+                    (frac, (stats["overhead_ns"] + stats["miss_wait_ns"]) / 1e6)
+                )
+            curves[label] = points
+        return curves
+
+    curves = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = ["Fig. 11: section overhead (ms) vs sampled section size"]
+    for label, points in curves.items():
+        text.append(f"  section [{label}]:")
+        for frac, ms in points:
+            text.append(f"    {frac:>5.0%} of planned size -> {ms:8.3f} ms")
+    record("fig11", "\n".join(text))
+    edges = next(v for k, v in curves.items() if "edges" in k)
+    # the streaming section is already near-flat at small sizes
+    assert edges[0][1] < 3 * edges[-1][1] + 0.05
+    # a non-streaming section improves substantially with size
+    nodes = next(v for k, v in curves.items() if "nodes" in k)
+    assert nodes[-1][1] < nodes[0][1]

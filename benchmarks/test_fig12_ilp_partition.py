@@ -1,0 +1,65 @@
+"""Fig. 12: memory partitioning across sections vs the ILP's choice.
+
+Paper result: application performance varies with how local memory is
+split across the node / edge / random-array sections; the partition the
+ILP selects from the sampled curves matches the best enumerated one, and
+it gives most memory to the non-sequential sections.
+"""
+
+from dataclasses import replace
+
+from benchmarks.common import COST, cached_native_ns, record, run_with_plan
+from repro.core import MiraController
+from repro.workloads import make_graph_workload
+
+RATIO = 0.5
+#: enumerated (node share, third share) partitions of the non-stream
+#: memory; the edge section keeps its small streaming size
+PARTITIONS = [(0.2, 0.8), (0.4, 0.6), (0.6, 0.4), (0.8, 0.2)]
+
+
+def test_fig12_ilp_partition(benchmark):
+    wl = make_graph_workload(with_random_array=True)
+    native = cached_native_ns(wl)
+    local = int(wl.footprint_bytes() * RATIO)
+
+    def experiment():
+        controller = MiraController(
+            wl.build_module, COST, local, data_init=wl.data_init,
+            max_iterations=1, sample_sizes=True,
+        )
+        program = controller.optimize()
+        plan = program.plan
+        ilp_sizes = program.plan.notes.get("ilp", {})
+        src = wl.build_module()
+        ilp_result = run_with_plan(src, plan, local, wl.data_init)
+        ilp_perf = native / ilp_result.elapsed_ns
+
+        node_sp = next(sp for sp in plan.sections if "nodes" in sp.object_names)
+        third_sp = next(sp for sp in plan.sections if "third" in sp.object_names)
+        pool = node_sp.config.size_bytes + third_sp.config.size_bytes
+        rows = []
+        for node_frac, third_frac in PARTITIONS:
+            sections = []
+            for sp in plan.sections:
+                if sp is node_sp:
+                    sections.append(sp.with_size(max(sp.config.line_size, int(pool * node_frac))))
+                elif sp is third_sp:
+                    sections.append(sp.with_size(max(sp.config.line_size, int(pool * third_frac))))
+                else:
+                    sections.append(sp)
+            variant = replace(plan, sections=sections)
+            result = run_with_plan(src, variant, local, wl.data_init)
+            rows.append(((node_frac, third_frac), native / result.elapsed_ns))
+        return ilp_perf, ilp_sizes, rows
+
+    ilp_perf, ilp_sizes, rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = ["Fig. 12: partitions of the node/third memory pool"]
+    for (nf, tf), perf in rows:
+        text.append(f"  node {nf:.0%} / third {tf:.0%} -> {perf:.3f}")
+    text.append(f"  ILP-chosen sizes {ilp_sizes} -> {ilp_perf:.3f}")
+    record("fig12", "\n".join(text))
+    best_enumerated = max(perf for _, perf in rows)
+    # the ILP's partition is at least as good as the best enumerated one
+    # (small tolerance: enumerations are coarse)
+    assert ilp_perf >= best_enumerated * 0.93

@@ -1,0 +1,59 @@
+"""Fig. 15: benefit of Mira's prefetching and eviction hints vs Leap.
+
+Paper result: program-directed prefetching hides the sequential edge
+latency (the larger effect); eviction hints hide write-back; Leap's
+majority-history prefetching cannot capture the interleaved pattern.
+"""
+
+from benchmarks.common import COST, cached_native_ns, planned, record, run_with_plan
+from repro.bench.harness import system_point
+from repro.bench.reporting import format_series
+from repro.workloads import make_graph_workload
+
+RATIO = 0.25
+
+
+def test_fig15_prefetch_evict(benchmark):
+    wl = make_graph_workload()
+    native = cached_native_ns(wl)
+    local = int(wl.footprint_bytes() * RATIO)
+
+    def experiment():
+        src, plan, _ = planned(wl, local)
+        base = plan.without_options("prefetch", "evict", "batching", "native")
+        rows = []
+        r = run_with_plan(src, base, local, wl.data_init)
+        rows.append(("sections only", native / r.elapsed_ns))
+        r = run_with_plan(
+            src, plan.without_options("evict", "batching", "native"),
+            local, wl.data_init,
+        )
+        rows.append(("+prefetch", native / r.elapsed_ns))
+        r = run_with_plan(
+            src, plan.without_options("prefetch", "batching", "native"),
+            local, wl.data_init,
+        )
+        rows.append(("+evict hints", native / r.elapsed_ns))
+        r = run_with_plan(
+            src, plan.without_options("batching", "native"), local, wl.data_init
+        )
+        rows.append(("+both", native / r.elapsed_ns))
+        leap = system_point(wl, "leap", COST, RATIO, native)
+        rows.append(("Leap", leap.normalized_perf))
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record(
+        "fig15",
+        format_series(
+            "Fig. 15: prefetch / eviction-hint ablation (25% local memory)",
+            [r[0] for r in rows],
+            [r[1] for r in rows],
+            "configuration",
+            "normalized perf",
+        ),
+    )
+    by = dict(rows)
+    assert by["+prefetch"] > by["sections only"]       # prefetch helps
+    assert by["+both"] >= by["+evict hints"] * 0.98    # combined best-ish
+    assert by["+both"] > by["Leap"] * 2                # Leap can't follow pointers

@@ -1,0 +1,28 @@
+"""Fig. 16: overall DataFrame performance vs local-memory size.
+
+Paper result: Mira beats FastSwap/Leap (which lack per-pattern sections)
+and AIFM (whose per-dereference overhead keeps it far below the others
+even at 100% local memory).
+"""
+
+from benchmarks.common import record, run_sweep
+from repro.bench.reporting import format_sweep_table
+from repro.workloads import make_dataframe_workload
+
+RATIOS = [0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def test_fig16_dataframe(benchmark):
+    def experiment():
+        return run_sweep(make_dataframe_workload(), RATIOS)
+
+    sweep = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("fig16", format_sweep_table(sweep, "Fig. 16: DataFrame, normalized performance"))
+    small = min(RATIOS)
+    assert (
+        sweep.get("mira", small).normalized_perf
+        > 1.5 * sweep.get("fastswap", small).normalized_perf
+    )
+    # AIFM is slow even at full local memory (dereference overhead)
+    assert sweep.get("aifm", 1.0).normalized_perf < 0.5
+    assert all(p.normalized_perf > 0.5 for p in sweep.series("mira"))

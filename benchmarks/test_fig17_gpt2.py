@@ -1,0 +1,33 @@
+"""Fig. 17: GPT-2 inference vs local-memory size.
+
+Paper result: Mira's per-layer lifetime + batched prefetching keeps
+performance flat even at 4.5% local memory, while FastSwap/Leap collapse
+(they cache data that is not needed soon and fault synchronously).
+"""
+
+from benchmarks.common import record, run_sweep
+from repro.bench.reporting import format_sweep_table
+from repro.workloads import make_gpt2_workload
+
+RATIOS = [0.045, 0.1, 0.2, 0.5, 1.0]
+
+
+def test_fig17_gpt2(benchmark):
+    def experiment():
+        return run_sweep(
+            make_gpt2_workload(), RATIOS, systems=("fastswap", "leap", "mira")
+        )
+
+    sweep = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("fig17", format_sweep_table(sweep, "Fig. 17: GPT-2 inference, normalized performance"))
+    # flat from 10% of local memory down (paper: flat at 4.5%)
+    mira = {p.local_ratio: p.normalized_perf for p in sweep.series("mira")}
+    assert mira[0.1] > 0.8
+    assert mira[0.2] > 0.8
+    assert mira[0.045] > 0.45
+    # swap systems collapse when memory shrinks
+    assert sweep.get("fastswap", 0.1).normalized_perf < 0.4
+    assert sweep.get("leap", 0.1).normalized_perf < 0.4
+    # everything converges at full memory
+    assert sweep.get("fastswap", 1.0).normalized_perf > 0.9
+    assert mira[1.0] > 0.9

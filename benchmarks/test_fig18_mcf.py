@@ -1,0 +1,47 @@
+"""Fig. 18: MCF vs local-memory size, including AIFM's collapse.
+
+Paper results: (1) Mira matches swap at large memory (it configures the
+swap section for the pointer-heavy main arrays) and wins below ~70% by
+switching to a set-associative section with pointer-chasing prefetch;
+(2) AIFM fails to execute below full memory, is orders of magnitude worse
+at full memory, and recovers only slowly with memory *beyond* full size
+(its remotable-pointer metadata crowds out data).
+"""
+
+from benchmarks.common import record, run_sweep
+from repro.bench.reporting import format_sweep_table
+from repro.workloads import make_mcf_workload
+
+RATIOS = [0.2, 0.4, 0.7, 1.0, 1.4, 1.8]
+
+
+def test_fig18_mcf(benchmark):
+    def experiment():
+        return run_sweep(make_mcf_workload(), RATIOS)
+
+    sweep = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("fig18", format_sweep_table(sweep, "Fig. 18: MCF, normalized performance"))
+    # Mira wins big at small memory
+    assert (
+        sweep.get("mira", 0.2).normalized_perf
+        > 3 * sweep.get("fastswap", 0.2).normalized_perf
+    )
+    # Mira ~ swap at full memory (rolls back to the swap configuration or
+    # matches it)
+    assert (
+        abs(
+            sweep.get("mira", 1.0).normalized_perf
+            - sweep.get("fastswap", 1.0).normalized_perf
+        )
+        < 0.15
+    )
+    # AIFM fails below full memory...
+    assert sweep.get("aifm", 0.2).failed
+    assert sweep.get("aifm", 0.4).failed
+    # ...and is orders of magnitude worse at/above full memory
+    aifm_full = sweep.get("aifm", 1.0)
+    assert not aifm_full.failed
+    assert aifm_full.normalized_perf < 0.1
+    aifm_huge = sweep.get("aifm", 1.8)
+    assert not aifm_huge.failed
+    assert aifm_huge.normalized_perf < 0.5  # still far below the others

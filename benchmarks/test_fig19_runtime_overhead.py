@@ -1,0 +1,57 @@
+"""Fig. 19: run-time performance overhead at full local memory.
+
+Paper result: Mira's compiled code adds little overhead over native
+(dereference elision turns most accesses into native loads), while AIFM
+pays its per-dereference library cost on every remotable access.
+"""
+
+from benchmarks.common import (
+    COST,
+    cached_native_ns,
+    record,
+    run_sweep,
+)
+from repro.bench.harness import mira_point, system_point
+from repro.workloads import (
+    make_array_sum_workload,
+    make_dataframe_workload,
+    make_graph_workload,
+    make_mcf_workload,
+)
+
+WORKLOADS = [
+    make_array_sum_workload,
+    make_graph_workload,
+    make_dataframe_workload,
+    make_mcf_workload,
+]
+
+
+def test_fig19_runtime_overhead(benchmark):
+    def experiment():
+        rows = []
+        for make in WORKLOADS:
+            wl = make()
+            native = cached_native_ns(wl)
+            mira, _ = mira_point(wl, COST, 1.0, native)
+            aifm = system_point(wl, "aifm", COST, 1.0, native)
+            rows.append(
+                (
+                    wl.name,
+                    1.0 / mira.normalized_perf,
+                    None if aifm.failed else 1.0 / aifm.normalized_perf,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = ["Fig. 19: run-time overhead at 100% local memory (x over native)"]
+    text.append(f"{'workload':>16} | {'mira':>8} | {'aifm':>8}")
+    for name, mira, aifm in rows:
+        aifm_s = f"{aifm:>8.2f}" if aifm is not None else f"{'FAIL':>8}"
+        text.append(f"{name:>16} | {mira:>8.2f} | {aifm_s}")
+    record("fig19", "\n".join(text))
+    for name, mira, aifm in rows:
+        assert mira < 1.6  # Mira close to native at full memory
+        if aifm is not None:
+            assert aifm > mira  # AIFM's deref overhead always shows

@@ -1,0 +1,61 @@
+"""Fig. 21: performance deep dive -- adding Mira techniques one or two at
+a time, per application.
+
+Paper result: cache-section separation gives the big jump for everything
+except MCF (whose pointer-driven accesses need the later prefetching
+work); prefetch+eviction and the remaining optimizations add on top.
+"""
+
+from benchmarks.common import cached_native_ns, planned, record, run_with_plan
+from repro.workloads import (
+    make_dataframe_workload,
+    make_gpt2_workload,
+    make_mcf_workload,
+)
+
+RATIO = 0.3
+STACKS = [
+    ("swap", None),
+    ("+sections", ("prefetch", "evict", "batching", "readwrite", "native")),
+    ("+prefetch/evict", ("batching", "readwrite", "native")),
+    ("full", ()),
+]
+
+
+def _effective(result):
+    return result.profiler.regions.get("measured", result.elapsed_ns)
+
+
+def test_fig21_deepdive(benchmark):
+    def experiment():
+        table = {}
+        for make in (make_dataframe_workload, make_gpt2_workload, make_mcf_workload):
+            wl = make()
+            native = cached_native_ns(wl)
+            local = int(wl.footprint_bytes() * RATIO)
+            src, plan, swap_result = planned(wl, local)
+            rows = []
+            for label, dropped in STACKS:
+                if dropped is None:
+                    rows.append((label, native / _effective(swap_result)))
+                    continue
+                variant = plan.without_options(*dropped)
+                result = run_with_plan(src, variant, local, wl.data_init)
+                rows.append((label, native / _effective(result)))
+            table[wl.name] = rows
+        return table
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = ["Fig. 21: technique deep dive at 30% local memory"]
+    labels = [s[0] for s in STACKS]
+    text.append(f"{'workload':>12} | " + " | ".join(f"{l:>16}" for l in labels))
+    for name, rows in table.items():
+        cells = " | ".join(f"{perf:>16.3f}" for _, perf in rows)
+        text.append(f"{name:>12} | {cells}")
+    record("fig21", "\n".join(text))
+    for name, rows in table.items():
+        by = dict(rows)
+        assert by["full"] >= by["swap"] * 0.98
+    # the full stack gives a clear win for gpt2 and mcf at this ratio
+    assert dict(table["gpt2"])["full"] > 2 * dict(table["gpt2"])["swap"]
+    assert dict(table["mcf"])["full"] > 1.5 * dict(table["mcf"])["swap"]

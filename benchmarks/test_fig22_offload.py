@@ -1,0 +1,58 @@
+"""Fig. 22 (assigned; see DESIGN.md): function offloading.
+
+The offload candidate is MCF's pointer-chasing update: its accesses are
+value-dependent (unprefetchable), so running it locally at small memory
+means a network round trip per hop, while running it *at* the far-memory
+node makes every hop a local access (paper section 4.8: offload
+computation-light functions whose data already lives in far memory).
+"""
+
+from dataclasses import replace
+
+from benchmarks.common import COST, cached_native_ns, planned, record, run_with_plan
+from repro.analysis.offload import decide_offload
+from repro.workloads import make_mcf_workload
+
+RATIOS = [0.2, 0.4]
+
+
+def test_fig22_offload(benchmark):
+    wl = make_mcf_workload(num_nodes=8192, num_arcs=8192, chases=192)
+    native = cached_native_ns(wl)
+
+    def experiment():
+        rows = []
+        decision = None
+        for ratio in RATIOS:
+            local = int(wl.footprint_bytes() * ratio)
+            src, plan, swap_result = planned(wl, local)
+            no_off = run_with_plan(src, plan, local, wl.data_init)
+            off_plan = replace(plan, offload_functions=["chase_update"])
+            off = run_with_plan(src, off_plan, local, wl.data_init)
+            wl.verify_results(off.results)
+            rows.append((ratio, native / no_off.elapsed_ns, native / off.elapsed_ns))
+            if decision is None:
+                # the analysis itself: is offloading predicted to pay?
+                compiled_src = src.clone()
+                from repro.transforms import convert_to_remote
+
+                convert_to_remote(compiled_src, plan.converted_sites)
+                decision = decide_offload(
+                    compiled_src.get("chase_update"),
+                    compiled_src,
+                    COST,
+                    no_off.profiler,
+                    far_traffic_bytes=64.0,
+                )
+        return rows, decision
+
+    rows, decision = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = ["Fig. 22: offloading the pointer-chase function (MCF)"]
+    text.append(f"{'local':>8} | {'local exec':>10} | {'offloaded':>10}")
+    for ratio, no_off, off in rows:
+        text.append(f"{ratio:>7.0%} | {no_off:>10.3f} | {off:>10.3f}")
+    text.append(f"analysis decision: {decision.reason} -> offload={decision.offload}")
+    record("fig22", "\n".join(text))
+    # offloading the chase wins at small local memory
+    assert rows[0][2] > rows[0][1]
+    assert decision.candidate

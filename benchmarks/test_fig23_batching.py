@@ -1,0 +1,61 @@
+"""Fig. 23: data-access batching on the DataFrame avg/min/max job.
+
+Paper result: Mira fuses the three consecutive loops over the same vector
+and batch-fetches it; batching consistently improves Mira across local
+memory sizes.  Library-level systems (AIFM) run each operator in
+isolation and cannot batch across them.
+"""
+
+from benchmarks.common import COST, cached_native_ns, planned, record, run_with_plan
+from repro.bench.harness import system_point
+from repro.workloads.dataframe import make_dataframe_amm_workload
+
+RATIOS = [0.2, 0.4, 0.6, 0.8]
+
+
+def test_fig23_batching(benchmark):
+    wl = make_dataframe_amm_workload()
+    native = cached_native_ns(wl)
+
+    def experiment():
+        rows = []
+        for ratio in RATIOS:
+            local = int(wl.footprint_bytes() * ratio)
+            src, plan, _ = planned(wl, local)
+            with_batch = run_with_plan(src, plan, local, wl.data_init)
+            wl.verify_results(with_batch.results)
+            without = run_with_plan(
+                src, plan.without_options("batching"), local, wl.data_init
+            )
+            fast = system_point(wl, "fastswap", COST, ratio, native)
+            aifm = system_point(wl, "aifm", COST, ratio, native)
+            rows.append(
+                (
+                    ratio,
+                    native / with_batch.elapsed_ns,
+                    native / without.elapsed_ns,
+                    fast.normalized_perf,
+                    None if aifm.failed else aifm.normalized_perf,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = ["Fig. 23: batching (avg/min/max over one vector)"]
+    text.append(
+        f"{'local':>8} | {'mira+batch':>10} | {'mira-batch':>10} | "
+        f"{'fastswap':>10} | {'aifm':>10}"
+    )
+    for ratio, wb, wo, fs, am in rows:
+        am_s = f"{am:>10.3f}" if am is not None else f"{'FAIL':>10}"
+        text.append(f"{ratio:>7.0%} | {wb:>10.3f} | {wo:>10.3f} | {fs:>10.3f} | {am_s}")
+    record("fig23", "\n".join(text))
+    for ratio, with_b, without_b, fast, aifm in rows:
+        assert with_b >= without_b * 0.98  # batching never hurts
+        if aifm is not None:
+            assert with_b > aifm  # AIFM cannot batch across operators
+    # batching helps somewhere in the sweep (in this cost model element
+    # loops are DRAM-latency-bound, so the saved messages show up as a
+    # small consistent gain rather than the paper's larger one; see
+    # EXPERIMENTS.md)
+    assert any(wb > wo * 1.01 for _, wb, wo, _, _ in rows)

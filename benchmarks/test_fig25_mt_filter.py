@@ -1,0 +1,48 @@
+"""Fig. 25: writable shared memory multi-threading (DataFrame filter).
+
+Paper result: Mira scales better than FastSwap and AIFM -- most Mira
+optimizations still apply (the threads' affine writes partition the
+result vector, so it is shared-nothing and gets per-thread sections).
+"""
+
+from benchmarks.common import COST, record
+from repro.bench.harness import mira_point, native_time_ns, system_point
+from repro.workloads.dataframe import make_filter_workload
+
+THREADS = [1, 2, 4, 8]
+RATIO = 0.4
+
+
+def test_fig25_mt_filter(benchmark):
+    native1 = native_time_ns(make_filter_workload(num_threads=1), COST)
+
+    def experiment():
+        rows = []
+        for T in THREADS:
+            wl = make_filter_workload(num_threads=T)
+            fast = system_point(wl, "fastswap", COST, RATIO, native1, num_threads=T)
+            aifm = system_point(wl, "aifm", COST, RATIO, native1)
+            mira, _ = mira_point(wl, COST, RATIO, native1, num_threads=T)
+            rows.append(
+                (
+                    T,
+                    fast.normalized_perf,
+                    None if aifm.failed else aifm.normalized_perf,
+                    mira.normalized_perf,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = ["Fig. 25: DataFrame filter multi-threaded scaling"]
+    text.append(f"{'threads':>8} | {'fastswap':>9} | {'aifm':>9} | {'mira':>9}")
+    for T, fs, am, mi in rows:
+        am_s = f"{am:>9.3f}" if am is not None else f"{'FAIL':>9}"
+        text.append(f"{T:>8} | {fs:>9.3f} | {am_s} | {mi:>9.3f}")
+    record("fig25", "\n".join(text))
+    by_t = {r[0]: r for r in rows}
+    # everything scales here, but Mira scales best
+    assert by_t[8][3] > by_t[8][1]
+    if by_t[8][2] is not None:
+        assert by_t[8][3] > by_t[8][2]
+    assert by_t[8][3] > 2 * by_t[1][3]

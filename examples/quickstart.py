@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's graph-traversal example on every system.
+
+Builds the Fig. 4 program (sequential edge array, indirectly accessed
+node array), runs it natively, on the swap baselines, on AIFM, and
+through the full Mira controller, and prints normalized performance --
+a one-ratio slice of the paper's Fig. 5.
+
+Usage:  python examples/quickstart.py [local_memory_ratio]
+"""
+
+import sys
+
+from repro import CostModel, MiraController, run_on_baseline
+from repro.baselines import AIFM, FastSwap, Leap, NativeMemory
+from repro.errors import AllocationError
+from repro.workloads import make_graph_workload
+
+
+def main() -> None:
+    ratio = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    cost = CostModel()
+    workload = make_graph_workload()
+    footprint = workload.footprint_bytes()
+    local = int(footprint * ratio)
+    print(f"graph traversal: footprint {footprint // 1024} KiB, "
+          f"local memory {local // 1024} KiB ({ratio:.0%})\n")
+
+    native = run_on_baseline(
+        workload.build_module(), NativeMemory(cost, 2 * footprint),
+        workload.data_init,
+    )
+    workload.verify_results(native.results)
+    print(f"{'native':>10}: {native.elapsed_ns / 1e6:8.2f} ms  (baseline)")
+
+    for cls in (FastSwap, Leap, AIFM):
+        try:
+            result = run_on_baseline(
+                workload.build_module(), cls(cost, local), workload.data_init
+            )
+            workload.verify_results(result.results)
+            perf = native.elapsed_ns / result.elapsed_ns
+            print(f"{cls.name:>10}: {result.elapsed_ns / 1e6:8.2f} ms  "
+                  f"({perf:.3f}x native)")
+        except AllocationError as e:
+            print(f"{cls.name:>10}: FAILED ({e})")
+
+    controller = MiraController(
+        workload.build_module, cost, local, data_init=workload.data_init
+    )
+    program = controller.optimize()
+    perf = native.elapsed_ns / program.best_ns
+    print(f"{'mira':>10}: {program.best_ns / 1e6:8.2f} ms  ({perf:.3f}x native)")
+    print(f"\nMira plan after {len(program.history)} iterations "
+          f"(speedup over generic swap: {program.speedup_over_swap:.2f}x):")
+    for sp in program.plan.sections:
+        cfg = sp.config
+        print(f"  section {cfg.name}: {cfg.structure.value}, "
+              f"line {cfg.line_size} B, size {cfg.size_bytes // 1024} KiB, "
+              f"objects {sp.object_names}")
+
+
+if __name__ == "__main__":
+    main()

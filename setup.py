@@ -1,0 +1,19 @@
+"""Legacy setup shim.
+
+This environment has no network and no ``wheel`` package, so PEP-517
+editable installs (``pip install -e .``) cannot build an editable wheel.
+``python setup.py develop`` (or a ``.pth`` file pointing at ``src/``)
+provides the equivalent offline.  With network access, ``pip install -e .``
+works from ``pyproject.toml`` alone.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+)

@@ -1,0 +1,66 @@
+"""Reproduction of *Mira: A Program-Behavior-Guided Far Memory System*
+(Guo, He, Zhang -- SOSP 2023).
+
+Quickstart::
+
+    from repro import CostModel, MiraController, run_on_baseline
+    from repro.baselines import NativeMemory, FastSwap
+    from repro.workloads import make_graph_workload
+
+    cost = CostModel()
+    wl = make_graph_workload()
+    local = wl.footprint_bytes() // 4           # 25% local memory
+
+    native = run_on_baseline(wl.build_module(),
+                             NativeMemory(cost, 2 * wl.footprint_bytes()),
+                             wl.data_init)
+    swap = run_on_baseline(wl.build_module(), FastSwap(cost, local),
+                           wl.data_init)
+    mira = MiraController(wl.build_module, cost, local,
+                          data_init=wl.data_init).optimize()
+    print("FastSwap:", native.elapsed_ns / swap.elapsed_ns)
+    print("Mira:    ", native.elapsed_ns / mira.best_ns)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for figure-by-figure
+reproduction results.
+"""
+
+from repro.baselines import AIFM, FastSwap, Leap, NativeMemory
+from repro.cache import CacheManager, SectionConfig, Structure
+from repro.core import (
+    CompiledProgram,
+    MiraController,
+    MiraPlan,
+    SectionPlan,
+    compile_program,
+    run_on_baseline,
+    run_plan,
+)
+from repro.errors import MiraError
+from repro.memsim import CostModel, VirtualClock
+from repro.runtime import Interpreter, RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AIFM",
+    "FastSwap",
+    "Leap",
+    "NativeMemory",
+    "CacheManager",
+    "SectionConfig",
+    "Structure",
+    "CompiledProgram",
+    "MiraController",
+    "MiraPlan",
+    "SectionPlan",
+    "compile_program",
+    "run_on_baseline",
+    "run_plan",
+    "MiraError",
+    "CostModel",
+    "VirtualClock",
+    "Interpreter",
+    "RunResult",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Static program analysis (paper sections 4.2, 5.2).
+
+* :mod:`repro.analysis.alias` -- SSA forward dataflow + type-based alias
+  analysis mapping every memref value to its allocation sites;
+* :mod:`repro.analysis.scev` -- scalar evolution of index expressions
+  within loops;
+* :mod:`repro.analysis.access` -- per-scope, per-object access-pattern
+  classification (sequential / strided / indirect / invariant / unknown);
+* :mod:`repro.analysis.lifetime` -- first/last-access intervals per object;
+* :mod:`repro.analysis.locality` -- cache-structure and line-size choice;
+* :mod:`repro.analysis.dependence` -- adjacent-loop fusion legality;
+* :mod:`repro.analysis.readwrite` -- read-only/write-only scope detection;
+* :mod:`repro.analysis.offload` -- compute-vs-communication offload choice.
+"""
+
+from repro.analysis.access import AccessPattern, AccessSummary, analyze_scope
+from repro.analysis.alias import AliasAnalysis, AllocSite
+from repro.analysis.lifetime import LifetimeAnalysis, LifetimeInterval
+from repro.analysis.scev import SCEV, Affine, Indirect, Invariant, Unknown, scev_of
+
+__all__ = [
+    "AccessPattern",
+    "AccessSummary",
+    "analyze_scope",
+    "AliasAnalysis",
+    "AllocSite",
+    "LifetimeAnalysis",
+    "LifetimeInterval",
+    "SCEV",
+    "Affine",
+    "Indirect",
+    "Invariant",
+    "Unknown",
+    "scev_of",
+]

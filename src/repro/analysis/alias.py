@@ -1,0 +1,160 @@
+"""Pointer (memref) alias analysis.
+
+The paper (section 5.2.1) finds all pointers to remotable objects via
+forward SSA dataflow plus type-based alias analysis.  Here every
+memref-typed SSA value is mapped to the set of allocation sites it may
+reference, propagated to a fixpoint through loop-carried values, branches,
+and calls (context-insensitive).
+
+The analysis is *sound in the paper's sense*: a value's site set may
+over-approximate, never under-approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.core import Function, Module, Operation, Value
+from repro.ir.dialects import arith, func as func_d, memref, remotable, rmem, scf
+from repro.ir.types import IRType, MemRefType
+
+
+@dataclass(frozen=True)
+class AllocSite:
+    """One allocation site (a memref.alloc / remotable.alloc op)."""
+
+    uid: int
+    name: str
+    function: str
+    num_elems: int
+    elem_type: IRType
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_elems * self.elem_type.byte_size
+
+    def __str__(self) -> str:
+        return self.name or f"site{self.uid}"
+
+
+class AliasAnalysis:
+    """Maps memref SSA values to the alloc sites they may point to."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.sites: list[AllocSite] = []
+        self.site_by_op: dict[int, AllocSite] = {}
+        self._points_to: dict[int, frozenset[AllocSite]] = {}
+        self._run()
+
+    def points_to(self, value: Value) -> frozenset[AllocSite]:
+        """Alloc sites ``value`` may reference (empty for non-memrefs)."""
+        return self._points_to.get(value.uid, frozenset())
+
+    def site_named(self, name: str) -> AllocSite:
+        for site in self.sites:
+            if site.name == name:
+                return site
+        raise KeyError(f"no allocation site named {name!r}")
+
+    def values_of_site(self, site: AllocSite) -> list[Value]:
+        """All memref values that may reference ``site``."""
+        out = []
+        for fn in self.module.functions.values():
+            for v in _all_values(fn):
+                if site in self.points_to(v):
+                    out.append(v)
+        return out
+
+    # -- fixpoint -------------------------------------------------------------
+
+    def _run(self) -> None:
+        # seed: allocation ops
+        for fn in self.module.functions.values():
+            for op in fn.walk():
+                if isinstance(op, (memref.AllocOp, remotable.RAllocOp)):
+                    site = AllocSite(
+                        uid=op.result.uid,
+                        name=op.alloc_name,
+                        function=fn.name,
+                        num_elems=op.num_elems,
+                        elem_type=op.result.type.elem,
+                    )
+                    self.sites.append(site)
+                    self.site_by_op[id(op)] = site
+                    self._points_to[op.result.uid] = frozenset([site])
+        # propagate to fixpoint through copies, control flow, and calls
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.module.functions.values():
+                for op in fn.walk():
+                    changed |= self._transfer(fn, op)
+
+    def _union_into(self, dst: Value, srcs: list[Value]) -> bool:
+        if not isinstance(dst.type, MemRefType):
+            return False
+        combined: frozenset[AllocSite] = self._points_to.get(dst.uid, frozenset())
+        before = combined
+        for s in srcs:
+            combined = combined | self._points_to.get(s.uid, frozenset())
+        if combined != before:
+            self._points_to[dst.uid] = combined
+            return True
+        return False
+
+    def _transfer(self, fn: Function, op: Operation) -> bool:
+        changed = False
+        if isinstance(op, arith.SelectOp):
+            changed |= self._union_into(op.result, [op.operands[1], op.operands[2]])
+        elif isinstance(op, scf.ForOp):
+            term = op.body.terminator
+            yields = list(term.operands) if term is not None else []
+            for i, body_arg in enumerate(op.body_iter_args):
+                srcs = [op.iter_args[i]] + ([yields[i]] if i < len(yields) else [])
+                changed |= self._union_into(body_arg, srcs)
+            for i, res in enumerate(op.results):
+                srcs = [op.iter_args[i]] + ([yields[i]] if i < len(yields) else [])
+                changed |= self._union_into(res, srcs)
+        elif isinstance(op, scf.WhileOp):
+            cond = op.before.terminator
+            fwd = list(cond.forwarded) if cond is not None else []
+            body_term = op.after.terminator
+            yields = list(body_term.operands) if body_term is not None else []
+            for i, barg in enumerate(op.before.args):
+                srcs = [op.init_args[i]] + ([yields[i]] if i < len(yields) else [])
+                changed |= self._union_into(barg, srcs)
+            for i, aarg in enumerate(op.after.args):
+                if i < len(fwd):
+                    changed |= self._union_into(aarg, [fwd[i]])
+            for i, res in enumerate(op.results):
+                if i < len(fwd):
+                    changed |= self._union_into(res, [fwd[i]])
+        elif isinstance(op, scf.IfOp):
+            then_t, else_t = op.then_block.terminator, op.else_block.terminator
+            for i, res in enumerate(op.results):
+                srcs = []
+                if then_t is not None and i < len(then_t.operands):
+                    srcs.append(then_t.operands[i])
+                if else_t is not None and i < len(else_t.operands):
+                    srcs.append(else_t.operands[i])
+                changed |= self._union_into(res, srcs)
+        elif isinstance(op, (func_d.CallOp, rmem.OffloadCallOp)):
+            callee = self.module.functions.get(op.callee)
+            if callee is not None:
+                for formal, actual in zip(callee.args, op.operands):
+                    changed |= self._union_into(formal, [actual])
+                ret = callee.body.terminator
+                if ret is not None:
+                    for res, rv in zip(op.results, ret.operands):
+                        changed |= self._union_into(res, [rv])
+        return changed
+
+
+def _all_values(fn: Function):
+    yield from fn.args
+    for op in fn.walk():
+        yield from op.results
+        for region in op.regions:
+            for block in region.blocks:
+                yield from block.args

@@ -1,0 +1,83 @@
+"""Loop dependence analysis for data-access batching (paper section 4.5).
+
+Batching fuses adjacent loops so their arrays can be fetched in one
+scatter-gather message ("when we identify two arrays to be accessed by two
+adjacent loops, we fuse the loops and batch access the two arrays").
+
+Fusion here is the *sound* subset: identical literal bounds and step, and
+no memory dependence between the loops -- no site written in one loop is
+accessed in the other, and loop-carried values do not flow between them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.access import analyze_scope
+from repro.analysis.alias import AliasAnalysis
+from repro.ir.core import Function
+from repro.ir.dialects import arith
+from repro.ir.dialects import scf
+
+
+def _literal_bounds(loop: scf.ForOp) -> tuple[int, int, int] | None:
+    vals = []
+    for v in (loop.lb, loop.ub, loop.step):
+        prod = v.producer
+        if not isinstance(prod, arith.ConstantOp):
+            return None
+        vals.append(int(prod.value))
+    return tuple(vals)  # type: ignore[return-value]
+
+
+def can_fuse(a: scf.ForOp, b: scf.ForOp, alias: AliasAnalysis) -> bool:
+    """Is it sound to fuse loop ``b`` into loop ``a``?"""
+    ba, bb = _literal_bounds(a), _literal_bounds(b)
+    if ba is None or bb is None or ba != bb:
+        return False
+    if a.iter_args or b.iter_args:
+        # loop-carried reductions can still fuse: their carried values are
+        # independent as long as b does not use a's results
+        a_results = set(r.uid for r in a.results)
+        for op in b.walk():
+            if any(v.uid in a_results for v in op.operands):
+                return False
+    summaries_a = analyze_scope(a, alias)
+    summaries_b = analyze_scope(b, alias)
+    for site, sa in summaries_a.items():
+        sb = summaries_b.get(site)
+        if sb is None:
+            continue
+        if sa.writes or sb.writes:
+            return False
+    return True
+
+
+#: ops that may sit between two loops without blocking fusion (pure,
+#: memory-free; the fused loop is placed at the second loop's position, so
+#: these stay before it)
+_PURE_OPS = (arith.ConstantOp, arith.BinaryOp, arith.CmpOp, arith.CastOp,
+             arith.SelectOp)
+
+
+def adjacent_fusable_pairs(
+    fn: Function, alias: AliasAnalysis
+) -> list[tuple[scf.ForOp, scf.ForOp]]:
+    """(a, b) pairs of adjacent top-level loops that may fuse.  Loops
+    count as adjacent when only pure scalar ops (that do not consume a's
+    results) sit between them."""
+    out = []
+    ops = fn.body.ops
+    for i, a in enumerate(ops):
+        if not isinstance(a, scf.ForOp):
+            continue
+        a_results = {r.uid for r in a.results}
+        for j in range(i + 1, len(ops)):
+            mid = ops[j]
+            if isinstance(mid, scf.ForOp):
+                if can_fuse(a, mid, alias):
+                    out.append((a, mid))
+                break
+            if not isinstance(mid, _PURE_OPS):
+                break
+            if any(v.uid in a_results for v in mid.operands):
+                break
+    return out

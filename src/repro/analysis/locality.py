@@ -1,0 +1,97 @@
+"""Cache-structure and line-size choice (paper section 4.2, decisions
+marked 2 and 3 in Fig. 3).
+
+Line size: no larger than the access granularity for non-contiguous
+patterns (avoid amplification); as large as the network transmits
+efficiently for contiguous patterns (amortize the per-dereference cost).
+
+Structure: sequential/strided -> directly mapped (no conflicts by
+construction); indirect with an identifiable locality set -> K-way set
+associative with K sized to the expected conflicts; otherwise fully
+associative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.access import AccessPattern, AccessSummary
+from repro.cache.config import Structure
+from repro.memsim.cost_model import CostModel
+
+#: the network transmits up to this much efficiently in one message (the
+#: knee in Fig. 9: beyond ~2 KB the wire time dominates the RTT savings)
+MAX_EFFICIENT_LINE = 2048
+MIN_LINE = 64
+
+
+def choose_line_size(summary: AccessSummary, cost: CostModel) -> int:
+    """Cache-line size for a section holding this object."""
+    gran = max(summary.accessed_bytes_per_elem(), 1)
+    if summary.max_granularity() > MAX_EFFICIENT_LINE:
+        # coarse range touches (layer-granularity code): large lines
+        return MAX_EFFICIENT_LINE
+    if summary.pattern in (AccessPattern.SEQUENTIAL, AccessPattern.INVARIANT):
+        # contiguous: grow the line while the marginal wire time stays
+        # small relative to the saved round trips
+        line = MIN_LINE
+        while line < MAX_EFFICIENT_LINE and line < summary.site.size_bytes:
+            line *= 2
+        return max(line, _round_up_pow2(gran))
+    if summary.pattern is AccessPattern.STRIDED:
+        stride_bytes = abs(summary.stride_elems or 1) * summary.site.elem_type.byte_size
+        if stride_bytes >= MIN_LINE:
+            # elements far apart: one element per line avoids amplification
+            return _round_up_pow2(gran)
+        return MAX_EFFICIENT_LINE
+    # indirect / random: the smallest line that holds the accessed unit
+    return max(MIN_LINE, _round_up_pow2(gran))
+
+
+@dataclass
+class StructureChoice:
+    structure: Structure
+    ways: int = 8
+    reason: str = ""
+
+
+def choose_structure(
+    summary: AccessSummary, section_bytes: int, line_size: int
+) -> StructureChoice:
+    """Cache-section structure from the analyzed access sequence."""
+    if summary.pattern in (
+        AccessPattern.SEQUENTIAL,
+        AccessPattern.STRIDED,
+        AccessPattern.INVARIANT,
+    ):
+        return StructureChoice(
+            Structure.DIRECT, reason="sequential/strided: no conflicts"
+        )
+    if summary.pattern is AccessPattern.INDIRECT and summary.index_sources:
+        # locality set identifiable: the index values live in a known
+        # array, so the reachable set is bounded by the target object;
+        # estimate conflicts under K-way mapping
+        num_lines = max(1, section_bytes // line_size)
+        target_lines = max(1, summary.site.size_bytes // line_size)
+        pressure = target_lines / num_lines
+        if pressure <= 1.0:
+            ways = 2
+        elif pressure <= 4.0:
+            ways = 4
+        else:
+            ways = 8
+        return StructureChoice(
+            Structure.SET_ASSOCIATIVE,
+            ways=ways,
+            reason=f"indirect with bounded locality set (pressure {pressure:.1f})",
+        )
+    return StructureChoice(
+        Structure.FULLY_ASSOCIATIVE, reason="no identifiable locality set"
+    )
+
+
+def _round_up_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p

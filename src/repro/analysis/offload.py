@@ -1,0 +1,94 @@
+"""Function-offloading analysis (paper section 4.8).
+
+A function is an offload *candidate* when it has no shared writable data
+beyond its remotable arguments (the paper's restriction).  Among
+candidates, offload pays off when:
+
+    rpc + far_compute(= compute * slowdown)
+        <  local_compute + network_time_for_its_far_data
+
+i.e. for computation-light functions whose data already lives in far
+memory.  Compute and traffic come from profiling (the co-design: static
+candidacy, profiled decision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.alias import AliasAnalysis
+from repro.ir.core import Function, Module
+from repro.ir.dialects import memref, remotable, rmem
+from repro.ir.types import MemRefType
+from repro.memsim.cost_model import CostModel
+from repro.runtime.profiler import Profiler
+
+
+@dataclass
+class OffloadDecision:
+    function: str
+    candidate: bool
+    offload: bool
+    local_ns: float = 0.0
+    far_ns: float = 0.0
+    reason: str = ""
+
+
+def is_offload_candidate(fn: Function, module: Module) -> bool:
+    """Static candidacy: the function touches only its (remotable)
+    arguments, values it defines itself, and locally allocated objects --
+    no writable shared state (section 4.8)."""
+    if fn.name == "main":
+        return False
+    writes_non_arg = False
+    for op in fn.walk():
+        if isinstance(op, (memref.AllocOp, remotable.RAllocOp)):
+            continue  # locally allocated and released is fine
+        if isinstance(op, (memref.StoreOp, rmem.RStoreOp)):
+            ref = op.ref
+            if ref not in fn.args and not _locally_allocated(ref):
+                writes_non_arg = True
+    # every memref parameter must be remote-capable for the far node to
+    # see the data without extra copies
+    for arg in fn.args:
+        if isinstance(arg.type, MemRefType) and not arg.type.remote:
+            return False
+    return not writes_non_arg
+
+
+def _locally_allocated(ref) -> bool:
+    from repro.ir.dialects import memref as memref_d
+    from repro.ir.dialects import remotable as remotable_d
+
+    return isinstance(ref.producer, (memref_d.AllocOp, remotable_d.RAllocOp))
+
+
+def decide_offload(
+    fn: Function,
+    module: Module,
+    cost: CostModel,
+    profiler: Profiler,
+    far_traffic_bytes: float,
+) -> OffloadDecision:
+    """Profile-guided offload decision for one candidate function."""
+    if not is_offload_candidate(fn, module):
+        return OffloadDecision(fn.name, False, False, reason="not a candidate")
+    prof = profiler.functions.get(fn.name)
+    if prof is None or prof.calls == 0:
+        return OffloadDecision(fn.name, True, False, reason="never profiled")
+    per_call_exec = (prof.inclusive_ns - prof.inclusive_runtime_ns) / prof.calls
+    per_call_runtime = prof.inclusive_runtime_ns / prof.calls
+    local_ns = per_call_exec + per_call_runtime
+    far_ns = (
+        cost.rpc_ns
+        + cost.transfer_ns(int(far_traffic_bytes))
+        + per_call_exec * cost.far_cpu_slowdown
+    )
+    return OffloadDecision(
+        fn.name,
+        candidate=True,
+        offload=far_ns < local_ns,
+        local_ns=local_ns,
+        far_ns=far_ns,
+        reason=f"local {local_ns:.0f}ns vs far {far_ns:.0f}ns",
+    )

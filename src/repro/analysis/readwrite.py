@@ -1,0 +1,50 @@
+"""Read-only / write-only scope detection (paper section 4.5).
+
+"If a loop only contains read operations, we can safely discard the local
+cached objects after the loop.  If it only contains writes that cover
+whole cache lines, we can avoid fetching the objects from far memory."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.access import AccessPattern, AccessSummary, analyze_scope
+from repro.analysis.alias import AliasAnalysis, AllocSite
+from repro.ir.dialects import scf
+
+
+@dataclass
+class ReadWriteInfo:
+    site: AllocSite
+    read_only: bool
+    write_only: bool
+    #: write-only AND sequential whole-element stores: every line the
+    #: section allocates will be fully overwritten, so no fetch is needed
+    full_line_writes: bool
+
+
+def readwrite_info(
+    loop: scf.ForOp, alias: AliasAnalysis
+) -> dict[AllocSite, ReadWriteInfo]:
+    out: dict[AllocSite, ReadWriteInfo] = {}
+    for site, summary in analyze_scope(loop, alias).items():
+        out[site] = ReadWriteInfo(
+            site=site,
+            read_only=summary.read_only,
+            write_only=summary.write_only,
+            full_line_writes=_full_line_writes(summary),
+        )
+    return out
+
+
+def _full_line_writes(summary: AccessSummary) -> bool:
+    if not summary.write_only:
+        return False
+    if summary.pattern is not AccessPattern.SEQUENTIAL:
+        return False
+    # whole elements must be stored (not single fields of structs)
+    return all(
+        r.field is None or r.granularity == summary.site.elem_type.byte_size
+        for r in summary.records
+    )

@@ -1,0 +1,16 @@
+"""Comparison systems from the paper's evaluation (section 6).
+
+* :class:`NativeMemory` -- all data local; defines the normalization
+  baseline for every figure.
+* :class:`FastSwap` -- kernel swap over RDMA with an optimized datapath.
+* :class:`Leap` -- kernel swap plus majority-trend prefetching.
+* :class:`AIFM` -- library runtime with remotable pointers, per-object
+  metadata, and per-dereference overhead.
+"""
+
+from repro.baselines.aifm import AIFM
+from repro.baselines.fastswap import FastSwap
+from repro.baselines.leap import Leap
+from repro.baselines.native import NativeMemory
+
+__all__ = ["NativeMemory", "FastSwap", "Leap", "AIFM"]

@@ -1,0 +1,65 @@
+"""FastSwap baseline (Amaro et al., EuroSys'20).
+
+A Linux kernel swap system over RDMA with an optimized fault datapath and
+polling.  Characteristics the paper's comparisons exercise:
+
+* 4 KB page granularity -> read/write amplification for fine accesses;
+* no program knowledge -> demand paging only, global LRU eviction;
+* zero per-access overhead on hits (pages are MMU-mapped);
+* the swap datapath serializes under multi-threading (Fig. 24/25).
+"""
+
+from __future__ import annotations
+
+from repro.cache.interface import MemorySystem
+from repro.cache.swap import SwapSection
+from repro.memsim.clock import VirtualClock
+from repro.memsim.resources import SerialResource
+
+
+class FastSwap(MemorySystem):
+    """Whole-heap page swapping with demand paging."""
+
+    name = "fastswap"
+
+    def __init__(self, cost, local_mem_bytes, clock=None, num_threads=1) -> None:
+        super().__init__(cost, local_mem_bytes, clock)
+        self.fault_lock = SerialResource("swap-lock") if num_threads > 1 else None
+        self.swap = SwapSection(
+            local_mem_bytes,
+            cost,
+            self.clock,
+            self.network,
+            extra_fault_ns=self._extra_fault_ns(),
+            fault_lock=self.fault_lock,
+        )
+
+    def _extra_fault_ns(self) -> float:
+        return 0.0
+
+    def set_clock(self, clock: VirtualClock) -> None:
+        self.clock = clock
+        self.network.clock = clock
+        self.swap.clock = clock
+
+    def access(
+        self,
+        obj_id: int,
+        offset: int,
+        size: int,
+        is_write: bool,
+        native: bool = False,
+    ) -> None:
+        obj = self.address_space.get(obj_id)
+        ostats = self.stats.object(obj_id)
+        ostats.accesses += 1
+        hit = self.swap.access(obj.va_of(offset), size, is_write, obj_id)
+        if not hit:
+            ostats.misses += 1
+        self._after_access(obj, offset, size, hit)
+
+    def _after_access(self, obj, offset: int, size: int, hit: bool) -> None:
+        """Hook for Leap's prefetcher."""
+
+    def metadata_bytes(self) -> int:
+        return self.swap.metadata_bytes()

@@ -1,0 +1,134 @@
+"""Leap baseline (Al Maruf & Chowdhury, ATC'20).
+
+Leap augments the Linux swap path with *majority-trend* prefetching: it
+keeps a window of recent page accesses, finds the majority stride with a
+Boyer-Moore vote (growing the detection window until a majority emerges),
+and prefetches along that stride with a prefetch window that expands on
+useful prefetches and shrinks on useless ones.
+
+Two properties the paper leans on (sections 4.5, 6.1):
+
+* Leap captures the process's *global majority* pattern, so an interleaved
+  pattern (sequential edges + random nodes) defeats it -- the random
+  accesses dilute the majority, or the sequential majority prefetches
+  pages the random accesses never use.
+* Leap's fault datapath is less optimized than FastSwap's, so it loses to
+  FastSwap when its prefetches do not help.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.baselines.fastswap import FastSwap
+from repro.memsim.address import PAGE_SIZE
+
+#: page-access history length
+HISTORY_LEN = 32
+#: Boyer-Moore detection windows tried smallest-first (Leap grows the
+#: window until a majority appears)
+DETECT_WINDOWS = (8, 16, 32)
+#: prefetch window bounds
+MIN_PREFETCH = 1
+MAX_PREFETCH = 32
+
+
+class MajorityTrendPrefetcher:
+    """Boyer-Moore majority-stride detector with an adaptive window."""
+
+    def __init__(self) -> None:
+        self._history: deque[int] = deque(maxlen=HISTORY_LEN)
+        self._window = MIN_PREFETCH
+        self._outstanding: set[int] = set()
+        self._useful = 0
+        self._issued = 0
+        self._last_page: int | None = None
+
+    def record(self, page: int) -> None:
+        # Leap observes the fault/access stream at page granularity:
+        # repeated accesses within one page are a single history event
+        if page == self._last_page:
+            return
+        self._last_page = page
+        self._history.append(page)
+        if page in self._outstanding:
+            self._outstanding.discard(page)
+            self._useful += 1
+
+    def majority_stride(self) -> int | None:
+        """The majority inter-access page stride, or None."""
+        pages = list(self._history)
+        if len(pages) < 2:
+            return None
+        deltas = [b - a for a, b in zip(pages, pages[1:])]
+        for w in DETECT_WINDOWS:
+            window = deltas[-w:]
+            if len(window) < 2:
+                continue
+            candidate = _boyer_moore(window)
+            if candidate is None or candidate == 0:
+                continue
+            if window.count(candidate) * 2 > len(window):
+                return candidate
+        return None
+
+    def plan(self, page: int) -> list[int]:
+        """Pages to prefetch after a miss on ``page``."""
+        self._adapt()
+        stride = self.majority_stride()
+        if stride is None:
+            return []
+        plan = [page + stride * i for i in range(1, self._window + 1)]
+        self._outstanding.update(plan)
+        self._issued += len(plan)
+        return plan
+
+    def _adapt(self) -> None:
+        if self._issued == 0:
+            return
+        if self._useful * 2 >= self._issued:
+            self._window = min(self._window * 2, MAX_PREFETCH)
+        else:
+            self._window = max(self._window // 2, MIN_PREFETCH)
+        self._useful = 0
+        self._issued = 0
+        self._outstanding.clear()
+
+
+def _boyer_moore(items: list[int]) -> int | None:
+    """Boyer-Moore majority-vote candidate (unverified)."""
+    count = 0
+    candidate: int | None = None
+    for x in items:
+        if count == 0:
+            candidate = x
+            count = 1
+        elif x == candidate:
+            count += 1
+        else:
+            count -= 1
+    return candidate
+
+
+class Leap(FastSwap):
+    """FastSwap's structure with Leap's prefetcher and fault path."""
+
+    name = "leap"
+
+    def __init__(self, cost, local_mem_bytes, clock=None, num_threads=1) -> None:
+        super().__init__(cost, local_mem_bytes, clock, num_threads)
+        self.prefetcher = MajorityTrendPrefetcher()
+
+    def _extra_fault_ns(self) -> float:
+        return self.cost.leap_extra_fault_ns
+
+    def _after_access(self, obj, offset: int, size: int, hit: bool) -> None:
+        va = obj.va_of(offset)
+        for page in self.swap.pages_of(va, size):
+            self.prefetcher.record(page)
+        if hit:
+            return
+        # a fault occurred: plan prefetches along the majority stride
+        for p in self.prefetcher.plan(va // PAGE_SIZE):
+            if p >= 0 and not self.swap.contains(p):
+                self.swap.prefetch(p, obj.obj_id)

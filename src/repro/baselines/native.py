@@ -1,0 +1,28 @@
+"""Native execution: all memory local, no far-memory machinery.
+
+Every experiment reports performance normalized to this system's virtual
+time on the same program ("normalized over native execution on full local
+memory", paper section 4).
+"""
+
+from __future__ import annotations
+
+from repro.cache.interface import MemorySystem
+
+
+class NativeMemory(MemorySystem):
+    """All-local memory; accesses cost nothing beyond the interpreter's
+    uniform CPU/DRAM charges."""
+
+    name = "native"
+
+    def access(
+        self,
+        obj_id: int,
+        offset: int,
+        size: int,
+        is_write: bool,
+        native: bool = False,
+    ) -> None:
+        # data is local: the interpreter's DRAM charge covers it
+        return None

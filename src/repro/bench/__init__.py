@@ -1,0 +1,28 @@
+"""Experiment harness for the paper's figures.
+
+:mod:`repro.bench.harness` runs (workload, system, local-memory ratio)
+points and returns normalized performance exactly as the paper reports it
+("normalized over native execution on full local memory").
+:mod:`repro.bench.reporting` renders the sweep tables the benchmark files
+print.
+"""
+
+from repro.bench.harness import (
+    ExperimentPoint,
+    Sweep,
+    mira_point,
+    native_time_ns,
+    sweep_systems,
+    system_point,
+)
+from repro.bench.reporting import format_sweep_table
+
+__all__ = [
+    "ExperimentPoint",
+    "Sweep",
+    "mira_point",
+    "native_time_ns",
+    "sweep_systems",
+    "system_point",
+    "format_sweep_table",
+]

@@ -1,0 +1,176 @@
+"""Shared experiment harness.
+
+All figures report *normalized performance* = native virtual time /
+system virtual time on the same program and data (higher is better,
+1.0 = no far-memory penalty).  AIFM's allocation failures (Fig. 18) are
+recorded as ``failed`` points rather than exceptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import AIFM, FastSwap, Leap, NativeMemory
+from repro.core import MiraController, run_on_baseline, run_plan
+from repro.errors import AllocationError
+from repro.memsim.cost_model import CostModel
+from repro.runtime.interpreter import RunResult
+from repro.workloads.base import Workload
+
+BASELINE_SYSTEMS = {
+    "fastswap": FastSwap,
+    "leap": Leap,
+    "aifm": AIFM,
+}
+
+
+@dataclass
+class ExperimentPoint:
+    system: str
+    local_ratio: float
+    normalized_perf: float | None  # None = failed to run
+    elapsed_ns: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return self.normalized_perf is None
+
+
+@dataclass
+class Sweep:
+    """One figure's data: points indexed by (system, ratio)."""
+
+    name: str
+    native_ns: float
+    points: list[ExperimentPoint] = field(default_factory=list)
+
+    def add(self, point: ExperimentPoint) -> None:
+        self.points.append(point)
+
+    def get(self, system: str, ratio: float) -> ExperimentPoint:
+        for p in self.points:
+            if p.system == system and abs(p.local_ratio - ratio) < 1e-9:
+                return p
+        raise KeyError((system, ratio))
+
+    def series(self, system: str) -> list[ExperimentPoint]:
+        return [p for p in self.points if p.system == system]
+
+
+def effective_ns(result: RunResult) -> float:
+    """Measured time of a run: the ``measured`` profiling region when the
+    workload marks one (steady state, excluding warm-up), else the whole
+    run."""
+    return result.profiler.regions.get("measured", result.elapsed_ns)
+
+
+def native_time_ns(workload: Workload, cost: CostModel) -> float:
+    """Native all-local run; also validates workload correctness."""
+    result = run_on_baseline(
+        workload.build_module(),
+        NativeMemory(cost, 2 * workload.footprint_bytes() + (1 << 20)),
+        workload.data_init,
+        entry=workload.entry,
+    )
+    workload.verify_results(result.results)
+    return effective_ns(result)
+
+
+def system_point(
+    workload: Workload,
+    system_name: str,
+    cost: CostModel,
+    local_ratio: float,
+    native_ns: float,
+    num_threads: int = 1,
+) -> ExperimentPoint:
+    """Run one baseline system at one local-memory ratio."""
+    local = max(4096, int(workload.footprint_bytes() * local_ratio))
+    cls = BASELINE_SYSTEMS[system_name]
+    kwargs = {} if system_name == "aifm" else {"num_threads": num_threads}
+    try:
+        result = run_on_baseline(
+            workload.build_module(),
+            cls(cost, local, **kwargs),
+            workload.data_init,
+            entry=workload.entry,
+        )
+        workload.verify_results(result.results)
+    except AllocationError as e:
+        return ExperimentPoint(system_name, local_ratio, None, extra={"error": str(e)})
+    ns = effective_ns(result)
+    return ExperimentPoint(system_name, local_ratio, native_ns / ns, ns)
+
+
+def mira_point(
+    workload: Workload,
+    cost: CostModel,
+    local_ratio: float,
+    native_ns: float,
+    max_iterations: int = 2,
+    sample_sizes: bool = False,
+    num_threads: int = 1,
+) -> tuple[ExperimentPoint, "MiraController | None"]:
+    """Run the full Mira controller at one ratio; returns the point and
+    the compiled program (for deep-dive figures)."""
+    local = max(4096, int(workload.footprint_bytes() * local_ratio))
+    controller = MiraController(
+        workload.build_module,
+        cost,
+        local,
+        data_init=workload.data_init,
+        entry=workload.entry,
+        max_iterations=max_iterations,
+        sample_sizes=sample_sizes,
+        num_threads=num_threads,
+    )
+    program = controller.optimize()
+    final = run_plan(
+        program.module,
+        cost,
+        local,
+        data_init=workload.data_init,
+        entry=workload.entry,
+        num_threads=num_threads,
+    )
+    workload.verify_results(final.results)
+    ns = effective_ns(final)
+    point = ExperimentPoint(
+        "mira",
+        local_ratio,
+        native_ns / ns,
+        ns,
+        extra={"sections": [sp.config.name for sp in program.plan.sections]},
+    )
+    return point, program
+
+
+def sweep_systems(
+    workload: Workload,
+    cost: CostModel,
+    ratios: list[float],
+    systems: list[str] = ("fastswap", "leap", "aifm", "mira"),
+    max_iterations: int = 2,
+    num_threads: int = 1,
+) -> Sweep:
+    """The standard figure shape: systems x local-memory ratios."""
+    native_ns = native_time_ns(workload, cost)
+    sweep = Sweep(workload.name, native_ns)
+    for ratio in ratios:
+        for system in systems:
+            if system == "mira":
+                point, _ = mira_point(
+                    workload,
+                    cost,
+                    ratio,
+                    native_ns,
+                    max_iterations=max_iterations,
+                    num_threads=num_threads,
+                )
+            else:
+                point = system_point(
+                    workload, system, cost, ratio, native_ns, num_threads
+                )
+            sweep.add(point)
+    return sweep

@@ -1,0 +1,26 @@
+"""Software-configurable local DRAM cache for far memory.
+
+The paper's core mechanism (section 3): local memory is split into *cache
+sections*, each with its own size, structure (directly mapped /
+set-associative / fully associative), cache-line size, prefetch and
+eviction behaviour, and communication method.  A generic 4 KB page *swap
+section* backs everything not claimed by a specialized section.
+"""
+
+from repro.cache.config import SectionConfig, Structure
+from repro.cache.interface import MemorySystem
+from repro.cache.manager import CacheManager
+from repro.cache.section import CacheSection, Line
+from repro.cache.stats import SectionStats
+from repro.cache.swap import SwapSection
+
+__all__ = [
+    "SectionConfig",
+    "Structure",
+    "MemorySystem",
+    "CacheManager",
+    "CacheSection",
+    "Line",
+    "SectionStats",
+    "SwapSection",
+]

@@ -1,0 +1,82 @@
+"""Cache-section configuration (what Mira's controller tunes)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+class Structure(enum.Enum):
+    """Cache-section structure (paper section 4.2, 'determining cache
+    section structure')."""
+
+    DIRECT = "direct"
+    SET_ASSOCIATIVE = "set_associative"
+    FULLY_ASSOCIATIVE = "fully_associative"
+
+
+@dataclass
+class SectionConfig:
+    """Everything that defines one cache section.
+
+    The controller (``repro.core``) chooses these values from program
+    analysis plus profiling; the cache layer just executes them.
+    """
+
+    name: str
+    size_bytes: int
+    line_size: int
+    structure: Structure = Structure.FULLY_ASSOCIATIVE
+    #: associativity; used only by SET_ASSOCIATIVE
+    ways: int = 8
+    #: use one-sided RDMA (whole-structure access) or two-sided messages
+    #: (partial-structure / selective transmission), section 4.7
+    one_sided: bool = True
+    #: bytes actually transferred per line fetch; < line_size models
+    #: selective transmission of only the accessed fields (section 4.5)
+    fetch_bytes: int | None = None
+    #: lines whose lifetime the compiler fully controls keep no per-line
+    #: metadata (section 4.4, 'native-instruction' optimization)
+    metadata_free: bool = False
+    #: per-line metadata bytes when not metadata_free (tag + state + links)
+    metadata_per_line: int = 16
+    #: write-only scopes covering whole lines need no fetch on a write
+    #: miss (section 4.5, read/write optimization)
+    write_no_fetch: bool = False
+    #: shared writable section (section 4.6): conservative config, no
+    #: eviction hints honoured
+    shared: bool = False
+    #: free-form provenance notes from the planner
+    notes: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.line_size <= 0:
+            raise ConfigError(f"line size must be positive, got {self.line_size}")
+        if self.size_bytes < self.line_size:
+            raise ConfigError(
+                f"section {self.name!r}: size {self.size_bytes} smaller than "
+                f"one line ({self.line_size})"
+            )
+        if self.ways <= 0:
+            raise ConfigError(f"ways must be positive, got {self.ways}")
+        if self.fetch_bytes is not None and not 0 < self.fetch_bytes <= self.line_size:
+            raise ConfigError(
+                f"fetch_bytes {self.fetch_bytes} must be in (0, line_size]"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        return max(1, self.size_bytes // self.line_size)
+
+    @property
+    def transfer_bytes(self) -> int:
+        """Bytes moved over the network per line fetch."""
+        return self.fetch_bytes if self.fetch_bytes is not None else self.line_size
+
+    def metadata_bytes(self) -> int:
+        """Total per-line metadata this section needs."""
+        if self.metadata_free:
+            return 0
+        return self.num_lines * self.metadata_per_line

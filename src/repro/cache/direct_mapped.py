@@ -1,0 +1,56 @@
+"""Directly-mapped cache section.
+
+Cheapest lookup (one slot to check) and zero conflict cost for sequential
+or strided patterns, which is why the planner picks it for those
+(section 4.2).
+"""
+
+from __future__ import annotations
+
+from repro.cache.section import CacheSection, Line, LineKey
+
+
+class DirectMappedSection(CacheSection):
+    """Each line key maps to exactly one slot."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._slots: dict[int, Line] = {}
+
+    def _slot(self, key: LineKey) -> int:
+        obj_id, idx = key
+        # mix the object id in so two objects sharing a section do not
+        # collide on low indices systematically
+        return (idx + obj_id * 0x9E3779B1) % self.config.num_lines
+
+    def lookup(self, key: LineKey) -> Line | None:
+        line = self._slots.get(self._slot(key))
+        if line is not None and line.key == key:
+            return line
+        return None
+
+    def peek(self, key: LineKey) -> Line | None:
+        return self.lookup(key)
+
+    def choose_victim(self, key: LineKey) -> Line | None:
+        occupant = self._slots.get(self._slot(key))
+        if occupant is not None and occupant.key != key:
+            return occupant
+        return None
+
+    def install(self, line: Line) -> None:
+        self._slots[self._slot(line.key)] = line
+
+    def remove(self, key: LineKey) -> Line | None:
+        slot = self._slot(key)
+        line = self._slots.get(slot)
+        if line is not None and line.key == key:
+            del self._slots[slot]
+            return line
+        return None
+
+    def resident_lines(self) -> list[Line]:
+        return list(self._slots.values())
+
+    def resident_count(self) -> int:
+        return len(self._slots)

@@ -1,0 +1,63 @@
+"""Fully-associative cache section.
+
+Best space utilization (no conflict misses) at the highest lookup cost.
+Eviction approximates LRU with active/inactive lists (paper section 5.3);
+compiler-hinted evictable lines go first.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.section import CacheSection, Line, LineKey
+
+
+class FullyAssociativeSection(CacheSection):
+    """remote-address -> line map with an LRU order and an evictable set."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._lines: OrderedDict[LineKey, Line] = OrderedDict()
+        self._evictable: OrderedDict[LineKey, None] = OrderedDict()
+
+    def lookup(self, key: LineKey) -> Line | None:
+        line = self._lines.get(key)
+        if line is not None:
+            self._lines.move_to_end(key)
+            # touching a line cancels its evictable mark
+            if key in self._evictable:
+                del self._evictable[key]
+                line.evictable = False
+        return line
+
+    def peek(self, key: LineKey) -> Line | None:
+        return self._lines.get(key)
+
+    def choose_victim(self, key: LineKey) -> Line | None:
+        if len(self._lines) < self.config.num_lines:
+            return None
+        if self._evictable:
+            victim_key = next(iter(self._evictable))
+            return self._lines[victim_key]
+        return next(iter(self._lines.values()))
+
+    def install(self, line: Line) -> None:
+        self._lines[line.key] = line
+        if line.evictable:
+            self._evictable[line.key] = None
+
+    def remove(self, key: LineKey) -> Line | None:
+        self._evictable.pop(key, None)
+        return self._lines.pop(key, None)
+
+    def resident_lines(self) -> list[Line]:
+        return list(self._lines.values())
+
+    def resident_count(self) -> int:
+        return len(self._lines)
+
+    def evict_hint_line(self, key: LineKey) -> None:
+        super().evict_hint_line(key)
+        line = self._lines.get(key)
+        if line is not None and line.evictable:
+            self._evictable[key] = None

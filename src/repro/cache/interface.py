@@ -1,0 +1,141 @@
+"""The memory-system interface every simulated system implements.
+
+``MemorySystem`` is what the IR interpreter talks to.  Implementations:
+
+* :class:`repro.baselines.native.NativeMemory` -- all-local, the
+  normalization baseline,
+* :class:`repro.cache.manager.CacheManager` -- Mira's section-based cache,
+* :class:`repro.baselines.fastswap.FastSwap`,
+  :class:`repro.baselines.leap.Leap` -- page-swap systems,
+* :class:`repro.baselines.aifm.AIFM` -- object-granularity library runtime.
+
+Semantics: ``access`` charges virtual time for the *placement* consequences
+of one program access (lookup, miss, eviction, network); the interpreter
+separately charges CPU/DRAM time for the access itself.  Data values never
+live here -- correctness is handled by the interpreter's object store.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.cache.stats import MemoryStats
+from repro.memsim.address import AddressSpace, ObjectInfo
+from repro.memsim.clock import VirtualClock
+from repro.memsim.cost_model import CostModel
+from repro.memsim.farnode import FarMemoryNode
+from repro.memsim.network import Network
+
+
+class MemorySystem(abc.ABC):
+    """Base class wiring a system to the shared machine simulator."""
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        cost: CostModel,
+        local_mem_bytes: int,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        self.cost = cost
+        self.local_mem_bytes = local_mem_bytes
+        self.clock = clock or VirtualClock()
+        self.network = Network(cost, self.clock)
+        self.far_node = FarMemoryNode(cost)
+        self.address_space = AddressSpace()
+        self.stats = MemoryStats()
+
+    # -- allocation --------------------------------------------------------
+
+    def allocate(
+        self,
+        size: int,
+        elem_size: int = 8,
+        name: str = "",
+        alloc_site: str = "",
+        attrs: dict | None = None,
+    ) -> ObjectInfo:
+        """Allocate an object; far-memory backing is created eagerly."""
+        obj = self.address_space.allocate(size, elem_size, name, alloc_site, attrs)
+        self.far_node.allocate(size)
+        self._on_allocate(obj)
+        return obj
+
+    def free(self, obj_id: int) -> None:
+        self._on_free(self.address_space.get(obj_id))
+        self.address_space.free(obj_id)
+
+    # -- clock plumbing (thread simulation swaps the active clock) -----------
+
+    def set_clock(self, clock: VirtualClock) -> None:
+        self.clock = clock
+        self.network.clock = clock
+
+    # -- the data path -------------------------------------------------------
+
+    @abc.abstractmethod
+    def access(
+        self,
+        obj_id: int,
+        offset: int,
+        size: int,
+        is_write: bool,
+        native: bool = False,
+    ) -> None:
+        """One program access of ``size`` bytes at ``offset`` into the
+        object.  Advances the clock by whatever the system's data path
+        costs (zero extra for all-local native memory).  ``native=True``
+        is the compiler's dereference-elision promise (section 4.4);
+        systems without the concept ignore it."""
+
+    # -- optional hints (no-ops for systems that cannot use them) -----------
+
+    def prefetch(self, obj_id: int, offset: int, size: int) -> None:
+        """Asynchronous fetch hint (Mira compiler-inserted prefetch)."""
+
+    def flush(self, obj_id: int, offset: int, size: int) -> None:
+        """Asynchronously write back a range (pre-eviction flush)."""
+
+    def evict_hint(self, obj_id: int, offset: int, size: int) -> None:
+        """Mark a range evictable (compiler-inserted last-access hint)."""
+
+    def evict_hint_trailing(self, obj_id: int, offset: int) -> None:
+        """Mark the line *behind* ``offset`` evictable (streaming hint:
+        the previous line's last access has passed)."""
+
+    def discard(self, obj_id: int) -> None:
+        """Drop an object's clean cached data without write-back
+        (read-only scope ended)."""
+
+    def prefetch_batch(self, items: list[tuple[int, int, int]]) -> None:
+        """Prefetch several ``(obj_id, offset, size)`` ranges; systems that
+        can batch combine them into one network message (section 4.5)."""
+        for obj_id, offset, size in items:
+            self.prefetch(obj_id, offset, size)
+
+    def set_native(self, obj_id: int, native: bool) -> None:
+        """Compiler promise that subsequent accesses to this object are
+        dereference-elided (section 4.4); systems without the concept
+        ignore it."""
+
+    # -- bookkeeping hooks ---------------------------------------------------
+
+    def _on_allocate(self, obj: ObjectInfo) -> None:
+        pass
+
+    def _on_free(self, obj: ObjectInfo) -> None:
+        pass
+
+    # -- reporting ---------------------------------------------------------
+
+    def metadata_bytes(self) -> int:
+        """Local-memory bytes spent on the system's own metadata."""
+        return 0
+
+    def local_bytes_available(self) -> int:
+        """Local memory usable for data after metadata."""
+        return max(0, self.local_mem_bytes - self.metadata_bytes())
+
+    def describe(self) -> str:
+        return f"{self.name}(local={self.local_mem_bytes} B)"

@@ -1,0 +1,305 @@
+"""Mira's run-time memory system: a set of cache sections plus the swap
+section, with dynamic section lifetimes.
+
+The controller opens a section for a group of objects with similar access
+patterns, assigns them, and closes the section when lifetime analysis says
+the scope ended -- immediately returning its budget (this is what lets
+GPT-2 run at 4.5% local memory: each layer's section dies as the layer
+finishes).
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import SectionConfig
+from repro.cache.interface import MemorySystem
+from repro.cache.section import CacheSection, make_section
+from repro.cache.swap import SwapSection
+from repro.errors import ConfigError, MemoryError_
+from repro.memsim.address import PAGE_SIZE, ObjectInfo
+from repro.memsim.clock import VirtualClock
+
+
+class CacheManager(MemorySystem):
+    """Routes each object's accesses to its section (or the swap section)."""
+
+    name = "mira"
+
+    def __init__(self, cost, local_mem_bytes, clock=None, fault_lock=None) -> None:
+        super().__init__(cost, local_mem_bytes, clock)
+        self._sections: dict[str, CacheSection] = {}
+        self._assignment: dict[int, str] = {}
+        self._native_objs: set[int] = set()
+        self.fault_lock = fault_lock
+        self.swap = SwapSection(
+            local_mem_bytes, cost, self.clock, self.network, fault_lock=fault_lock
+        )
+        #: peak metadata observed, for Fig. 20
+        self.peak_metadata_bytes = 0
+        #: current virtual thread id (set by the interpreter inside
+        #: scf.parallel); selects per-thread private sections
+        self.current_thread = 0
+        #: allocation-name -> section-name assignments to apply when the
+        #: object is allocated (plans are made before the program runs)
+        self.pending_assignment: dict[str, str] = {}
+        self._access_counter = 0
+
+    # -- clock plumbing (thread simulation swaps the active clock) -----------
+
+    def set_clock(self, clock: VirtualClock) -> None:
+        self.clock = clock
+        self.network.clock = clock
+        self.swap.clock = clock
+        for sec in self._sections.values():
+            sec.clock = clock
+
+    # -- section lifecycle ----------------------------------------------------
+
+    def open_section(
+        self, config: SectionConfig, obj_ids: list[int], per_thread: int = 0
+    ) -> CacheSection:
+        """Create a section and move the given objects into it.
+
+        ``per_thread=T`` creates T private clones named ``name@t0..`` each
+        with 1/T of the budget (read-only multi-threading, section 4.6);
+        accesses route to the clone of the interpreter's current thread.
+        """
+        if per_thread > 1:
+            from dataclasses import replace as _replace
+
+            share = max(config.line_size, config.size_bytes // per_thread)
+            for t in range(per_thread):
+                clone = _replace(config, name=f"{config.name}@t{t}", size_bytes=share)
+                self._open_one(clone)
+            self._register(config.name, obj_ids)
+            self._resize_swap()
+            return self._sections[f"{config.name}@t0"]
+        section = self._open_one(config)
+        self._register(config.name, obj_ids)
+        self._resize_swap()
+        return section
+
+    def _open_one(self, config: SectionConfig) -> CacheSection:
+        if config.name in self._sections:
+            raise ConfigError(f"section {config.name!r} already open")
+        committed = sum(s.config.size_bytes for s in self._sections.values())
+        if committed + config.size_bytes > self.local_mem_bytes:
+            raise ConfigError(
+                f"section {config.name!r} ({config.size_bytes} B) does not fit: "
+                f"{committed} B already committed of {self.local_mem_bytes} B"
+            )
+        section = make_section(config, self.cost, self.clock, self.network)
+        self._sections[config.name] = section
+        return section
+
+    def _register(self, base_name: str, obj_ids: list[int]) -> None:
+        for obj_id in obj_ids:
+            self.assign(obj_id, base_name)
+
+    def close_section(self, name: str) -> None:
+        """End a section's lifetime: flush dirty lines, free its budget.
+
+        ``name`` may be a base name covering per-thread clones; all clones
+        are closed together.
+        """
+        names = self._resolve_group(name)
+        if not names:
+            raise ConfigError(f"no open section named {name!r}")
+        for n in names:
+            self._sections.pop(n).close()
+        for obj_id in [o for o, s in self._assignment.items() if s == name]:
+            del self._assignment[obj_id]
+            self._native_objs.discard(obj_id)
+        self._resize_swap()
+
+    def _resolve_group(self, base: str) -> list[str]:
+        if base in self._sections:
+            return [base]
+        return [n for n in self._sections if n.startswith(base + "@t")]
+
+    def assign(self, obj_id: int, section_name: str) -> None:
+        """Move an object into a section (out of swap or another section).
+
+        ``section_name`` may be the base name of a per-thread group.
+        """
+        if not self._resolve_group(section_name):
+            raise ConfigError(f"no open section named {section_name!r}")
+        old = self._assignment.get(obj_id)
+        if old == section_name:
+            return
+        obj = self.address_space.get(obj_id)
+        self.swap.drop_object(obj_id)
+        if old is not None:
+            for n in self._resolve_group(old):
+                sec = self._sections[n]
+                for key in sec.line_keys(obj_id, 0, obj.size):
+                    sec.drop_clean(key)
+        self._assignment[obj_id] = section_name
+
+    def section_of(self, obj_id: int) -> CacheSection | None:
+        name = self._assignment.get(obj_id)
+        if name is None:
+            return None
+        per_thread = f"{name}@t{self.current_thread}"
+        if per_thread in self._sections:
+            return self._sections[per_thread]
+        if name in self._sections:
+            return self._sections[name]
+        # per-thread group accessed outside a parallel region: use clone 0
+        return self._sections[f"{name}@t0"]
+
+    def sections(self) -> dict[str, CacheSection]:
+        return dict(self._sections)
+
+    def _resize_swap(self) -> None:
+        committed = sum(s.config.size_bytes for s in self._sections.values())
+        self.swap.resize(max(PAGE_SIZE, self.local_mem_bytes - committed))
+
+    # -- MemorySystem data path ----------------------------------------------
+
+    def access(
+        self,
+        obj_id: int,
+        offset: int,
+        size: int,
+        is_write: bool,
+        native: bool = False,
+    ) -> None:
+        obj = self.address_space.get(obj_id)
+        if offset < 0 or offset + max(size, 1) > obj.size:
+            raise MemoryError_(
+                f"access [{offset}, {offset + size}) out of bounds for "
+                f"object {obj.name or obj_id} ({obj.size} B)"
+            )
+        ostats = self.stats.object(obj_id)
+        ostats.accesses += 1
+        section = self.section_of(obj_id)
+        if section is None:
+            hit = self.swap.access(obj.va_of(offset), size, is_write, obj_id)
+        else:
+            native = native or obj_id in self._native_objs
+            hit = section.access(obj_id, offset, size, is_write, native=native)
+        if not hit:
+            ostats.misses += 1
+        # peak-metadata tracking is O(sections); sample it
+        self._access_counter += 1
+        if not self._access_counter % 256:
+            self._track_metadata()
+
+    def prefetch(self, obj_id: int, offset: int, size: int) -> None:
+        obj = self.address_space.get(obj_id)
+        section = self.section_of(obj_id)
+        if section is None:
+            for page in self.swap.pages_of(obj.va_of(offset), size):
+                self.swap.prefetch(page, obj_id)
+            return
+        # never let one prefetch call flood the section: cap the window at
+        # half its capacity so in-flight lines cannot evict each other
+        window = max(1, section.config.num_lines // 2)
+        for key in section.line_keys(obj_id, offset, size)[:window]:
+            section.prefetch_line(key)
+
+    def flush(self, obj_id: int, offset: int, size: int) -> None:
+        obj = self.address_space.get(obj_id)
+        section = self.section_of(obj_id)
+        if section is None:
+            self.swap.flush(obj.va_of(offset), size)
+            return
+        for key in section.line_keys(obj_id, offset, size):
+            section.flush_line(key)
+
+    def evict_hint(self, obj_id: int, offset: int, size: int) -> None:
+        obj = self.address_space.get(obj_id)
+        section = self.section_of(obj_id)
+        if section is None:
+            self.swap.evict_hint(obj.va_of(offset), size)
+            return
+        for key in section.line_keys(obj_id, offset, size):
+            section.evict_hint_line(key)
+
+    def evict_hint_trailing(self, obj_id: int, offset: int) -> None:
+        """Streaming hint: the line before ``offset`` will not be touched
+        again; mark it evictable."""
+        section = self.section_of(obj_id)
+        if section is None:
+            va = self.address_space.get(obj_id).va_of(offset)
+            prev = va - PAGE_SIZE
+            if prev >= self.address_space.get(obj_id).base_va:
+                self.swap.evict_hint(prev, 1)
+            return
+        prev = offset - section.config.line_size
+        if prev >= 0:
+            for key in section.line_keys(obj_id, prev, 1):
+                # flush first so the hinted line is clean when eviction
+                # picks it (write-back leaves the critical path)
+                section.flush_line(key)
+                section.evict_hint_line(key)
+
+    def discard(self, obj_id: int) -> None:
+        obj = self.address_space.get(obj_id)
+        section = self.section_of(obj_id)
+        if section is None:
+            self.swap.drop_object(obj_id)
+            return
+        for key in section.line_keys(obj_id, 0, obj.size):
+            section.drop_clean(key)
+
+    def prefetch_batch(self, items: list[tuple[int, int, int]]) -> None:
+        """Combine several prefetch ranges into one scatter-gather network
+        message: one RTT, summed wire time (section 4.5, batching)."""
+        missing: list[tuple[CacheSection, tuple[int, int]]] = []
+        total_bytes = 0
+        for obj_id, offset, size in items:
+            section = self.section_of(obj_id)
+            if section is None:
+                # swap pages cannot join a scatter-gather rmem message
+                self.prefetch(obj_id, offset, size)
+                continue
+            keys = section.line_keys(obj_id, offset, size)
+            for key in section.missing_keys(keys):
+                missing.append((section, key))
+                total_bytes += section.config.transfer_bytes
+        if not missing:
+            return
+        ready = self.network.read_async(total_bytes, one_sided=True)
+        for section, key in missing:
+            section.install_prefetched(key, ready)
+
+    def set_native(self, obj_id: int, native: bool) -> None:
+        if native:
+            self._native_objs.add(obj_id)
+        else:
+            self._native_objs.discard(obj_id)
+
+    def _on_allocate(self, obj: ObjectInfo) -> None:
+        section = self.pending_assignment.get(obj.name)
+        if section is not None:
+            self.assign(obj.obj_id, section)
+
+    def _on_free(self, obj: ObjectInfo) -> None:
+        self.swap.drop_object(obj.obj_id)
+        name = self._assignment.get(obj.obj_id)
+        if name is not None:
+            for n in self._resolve_group(name):
+                sec = self._sections[n]
+                for key in sec.line_keys(obj.obj_id, 0, obj.size):
+                    sec.drop_clean(key)
+            del self._assignment[obj.obj_id]
+
+    # -- reporting -----------------------------------------------------------
+
+    def metadata_bytes(self) -> int:
+        return self.swap.metadata_bytes() + sum(
+            s.metadata_bytes() for s in self._sections.values()
+        )
+
+    def _track_metadata(self) -> None:
+        md = self.metadata_bytes()
+        if md > self.peak_metadata_bytes:
+            self.peak_metadata_bytes = md
+
+    def collect_section_stats(self) -> dict[str, dict]:
+        """Snapshot per-section stats (including swap) for the profiler."""
+        out = {"swap": vars(self.swap.stats).copy()}
+        for name, sec in self._sections.items():
+            out[name] = vars(sec.stats).copy()
+        return out

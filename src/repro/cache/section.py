@@ -1,0 +1,277 @@
+"""Cache-section machinery shared by all three structures.
+
+A section caches fixed-size *lines* keyed by ``(obj_id, line_index)``.
+Subclasses provide the placement policy (where a line may live and which
+line to evict); this base class provides the timed data path: lookup
+overhead, miss fetch over the network, prefetch overlap, eviction hints,
+write-back, and statistics.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.cache.config import SectionConfig, Structure
+from repro.cache.stats import SectionStats
+from repro.errors import ConfigError
+from repro.memsim.clock import VirtualClock
+from repro.memsim.cost_model import CostModel
+from repro.memsim.network import Network
+
+#: a cache line's key: (object id, line index within the object)
+LineKey = tuple[int, int]
+
+
+@dataclass
+class Line:
+    """State of one resident cache line."""
+
+    key: LineKey
+    dirty: bool = False
+    evictable: bool = False
+    #: virtual time the line's data arrives (async prefetch); 0 = resident
+    ready_at: float = 0.0
+    #: metadata-free lines are compiler-managed (section 4.4)
+    metadata_free: bool = False
+    last_use: int = field(default=0)
+
+
+class CacheSection(abc.ABC):
+    """One configured cache section (abstract over placement policy)."""
+
+    def __init__(
+        self,
+        config: SectionConfig,
+        cost: CostModel,
+        clock: VirtualClock,
+        network: Network,
+    ) -> None:
+        self.config = config
+        self.cost = cost
+        self.clock = clock
+        self.network = network
+        self.stats = SectionStats()
+        self._use_counter = 0
+        self._hit_overhead = cost.hit_overhead_ns(config.structure.value)
+
+    # -- placement policy (subclass responsibility) --------------------------
+
+    @abc.abstractmethod
+    def lookup(self, key: LineKey) -> Line | None:
+        """Find a resident line, updating recency."""
+
+    @abc.abstractmethod
+    def peek(self, key: LineKey) -> Line | None:
+        """Find a resident line without updating recency."""
+
+    @abc.abstractmethod
+    def choose_victim(self, key: LineKey) -> Line | None:
+        """Line to evict to make room for ``key`` (None if free space)."""
+
+    @abc.abstractmethod
+    def install(self, line: Line) -> None:
+        """Place a line (caller has already evicted the victim)."""
+
+    @abc.abstractmethod
+    def remove(self, key: LineKey) -> Line | None:
+        """Drop a line without write-back bookkeeping (caller handles it)."""
+
+    @abc.abstractmethod
+    def resident_lines(self) -> list[Line]:
+        """All resident lines (order unspecified)."""
+
+    @abc.abstractmethod
+    def resident_count(self) -> int:
+        """Number of resident lines (O(1); hot path)."""
+
+    # -- geometry ------------------------------------------------------------
+
+    def line_index(self, offset: int) -> int:
+        return offset // self.config.line_size
+
+    def line_keys(self, obj_id: int, offset: int, size: int) -> list[LineKey]:
+        """Keys of every line a ``[offset, offset+size)`` access touches."""
+        if size <= 0:
+            size = 1
+        first = offset // self.config.line_size
+        last = (offset + size - 1) // self.config.line_size
+        return [(obj_id, i) for i in range(first, last + 1)]
+
+    # -- timed data path ------------------------------------------------------
+
+    def access(
+        self, obj_id: int, offset: int, size: int, is_write: bool, native: bool = False
+    ) -> bool:
+        """One program access; returns True iff every touched line hit.
+
+        ``native=True`` means the compiler proved line residency and elided
+        the dereference: no lookup overhead is charged on hits (section
+        4.4), though a genuinely absent line still faults and fetches.
+        """
+        all_hit = True
+        for key in self.line_keys(obj_id, offset, size):
+            hit = self._access_line(key, is_write, native)
+            all_hit = all_hit and hit
+        return all_hit
+
+    def _access_line(self, key: LineKey, is_write: bool, native: bool) -> bool:
+        self.stats.accesses += 1
+        self._use_counter += 1
+        line = self.lookup(key)
+        if line is not None:
+            line.last_use = self._use_counter
+            line.evictable = False
+            if is_write:
+                line.dirty = True
+            if line.ready_at > self.clock.now:
+                # prefetched but still in flight: wait the remainder
+                wait = line.ready_at - self.clock.now
+                self.clock.wait_until(line.ready_at, "miss_wait")
+                self.stats.miss_wait_ns += wait
+                self.stats.prefetch_hits += 1
+                self.stats.misses += 1
+                line.ready_at = 0.0
+                return False
+            if native:
+                self.stats.native_accesses += 1
+            else:
+                self.clock.advance(self._hit_overhead, "hit_overhead")
+                self.stats.overhead_ns += self._hit_overhead
+            self.stats.hits += 1
+            return True
+        # miss: synchronous fetch (skipped for whole-line writes in
+        # write-no-fetch sections, section 4.5)
+        self.stats.misses += 1
+        self._make_room(key)
+        if is_write and self.config.write_no_fetch:
+            fetch_ns = 0.0
+        else:
+            fetch_ns = self._fetch_sync()
+        self.stats.miss_wait_ns += fetch_ns
+        new = Line(key=key, dirty=is_write, last_use=self._use_counter)
+        new.metadata_free = self.config.metadata_free
+        self.install(new)
+        ins = self.cost.insert_overhead_ns
+        self.clock.advance(ins, "insert_overhead")
+        self.stats.overhead_ns += ins
+        return False
+
+    def prefetch_line(self, key: LineKey) -> None:
+        """Issue an asynchronous fetch of one line if absent."""
+        if self.peek(key) is not None:
+            return
+        self._make_room(key)
+        ready = self.network.read_async(
+            self.config.transfer_bytes, one_sided=self.config.one_sided
+        )
+        line = Line(key=key, ready_at=ready, last_use=self._use_counter)
+        line.metadata_free = self.config.metadata_free
+        self.install(line)
+        self.stats.prefetches_issued += 1
+
+    def missing_keys(self, keys: list[LineKey]) -> list[LineKey]:
+        """Subset of ``keys`` not resident (for batched prefetch)."""
+        return [k for k in keys if self.peek(k) is None]
+
+    def install_prefetched(self, key: LineKey, ready_at: float) -> None:
+        """Install a line arriving as part of a batched prefetch message
+        (the caller already issued the combined network read)."""
+        if self.peek(key) is not None:
+            return
+        self._make_room(key)
+        line = Line(key=key, ready_at=ready_at, last_use=self._use_counter)
+        line.metadata_free = self.config.metadata_free
+        self.install(line)
+        self.stats.prefetches_issued += 1
+
+    def flush_line(self, key: LineKey) -> None:
+        """Asynchronously write back a dirty line (keeps it resident)."""
+        line = self.peek(key)
+        if line is not None and line.dirty:
+            self.network.write_async(
+                self.config.transfer_bytes, one_sided=self.config.one_sided
+            )
+            line.dirty = False
+            self.stats.writebacks += 1
+
+    def evict_hint_line(self, key: LineKey) -> None:
+        """Mark a line evictable (last access passed)."""
+        if self.config.shared:
+            # shared sections ignore hints (section 4.6)
+            return
+        line = self.peek(key)
+        if line is not None:
+            line.evictable = True
+
+    def drop_clean(self, key: LineKey) -> None:
+        """Discard a line without write-back (read-only loop epilogue)."""
+        line = self.remove(key)
+        if line is not None and line.dirty:
+            # unexpected dirty data must still reach far memory
+            self._writeback(line)
+
+    def close(self) -> None:
+        """Flush everything; used when a section's lifetime ends."""
+        for line in self.resident_lines():
+            if line.dirty:
+                self._writeback(line)
+        for line in list(self.resident_lines()):
+            self.remove(line.key)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _make_room(self, key: LineKey) -> None:
+        victim = self.choose_victim(key)
+        if victim is None:
+            return
+        self.remove(victim.key)
+        self.stats.evictions += 1
+        if victim.evictable:
+            self.stats.hinted_evictions += 1
+        ev = self.cost.evict_overhead_ns
+        self.clock.advance(ev, "evict_overhead")
+        self.stats.overhead_ns += ev
+        if victim.dirty:
+            self._writeback(victim)
+
+    def _writeback(self, line: Line) -> None:
+        self.network.write_async(
+            self.config.transfer_bytes, one_sided=self.config.one_sided
+        )
+        self.stats.writebacks += 1
+
+    def _fetch_sync(self) -> float:
+        return self.network.read(
+            self.config.transfer_bytes, one_sided=self.config.one_sided
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    def metadata_bytes(self) -> int:
+        if self.config.metadata_free:
+            return 0
+        return self.resident_count() * self.config.metadata_per_line
+
+    def occupancy(self) -> int:
+        return self.resident_count() * self.config.line_size
+
+
+def make_section(
+    config: SectionConfig,
+    cost: CostModel,
+    clock: VirtualClock,
+    network: Network,
+) -> CacheSection:
+    """Factory: build the right section subclass for a config."""
+    from repro.cache.direct_mapped import DirectMappedSection
+    from repro.cache.fully_associative import FullyAssociativeSection
+    from repro.cache.set_associative import SetAssociativeSection
+
+    if config.structure is Structure.DIRECT:
+        return DirectMappedSection(config, cost, clock, network)
+    if config.structure is Structure.SET_ASSOCIATIVE:
+        return SetAssociativeSection(config, cost, clock, network)
+    if config.structure is Structure.FULLY_ASSOCIATIVE:
+        return FullyAssociativeSection(config, cost, clock, network)
+    raise ConfigError(f"unknown structure {config.structure!r}")

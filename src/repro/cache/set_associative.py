@@ -1,0 +1,65 @@
+"""K-way set-associative cache section.
+
+Middle ground between direct mapping's cheap lookup and full
+associativity's conflict-freedom; the planner sizes K from the estimated
+conflicts in the analyzed locality sets (section 4.2).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.section import CacheSection, Line, LineKey
+
+
+class SetAssociativeSection(CacheSection):
+    """Sets are OrderedDicts in LRU order (oldest first)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._num_sets = max(1, self.config.num_lines // self.config.ways)
+        self._sets: dict[int, OrderedDict[LineKey, Line]] = {}
+        self._count = 0
+
+    def _set_of(self, key: LineKey) -> OrderedDict[LineKey, Line]:
+        obj_id, idx = key
+        set_idx = (idx + obj_id * 0x9E3779B1) % self._num_sets
+        return self._sets.setdefault(set_idx, OrderedDict())
+
+    def lookup(self, key: LineKey) -> Line | None:
+        bucket = self._set_of(key)
+        line = bucket.get(key)
+        if line is not None:
+            bucket.move_to_end(key)
+        return line
+
+    def peek(self, key: LineKey) -> Line | None:
+        return self._set_of(key).get(key)
+
+    def choose_victim(self, key: LineKey) -> Line | None:
+        bucket = self._set_of(key)
+        if len(bucket) < self.config.ways:
+            return None
+        # evictable-first, then LRU (section 4.5, eviction hints)
+        for line in bucket.values():
+            if line.evictable:
+                return line
+        return next(iter(bucket.values()))
+
+    def install(self, line: Line) -> None:
+        bucket = self._set_of(line.key)
+        if line.key not in bucket:
+            self._count += 1
+        bucket[line.key] = line
+
+    def remove(self, key: LineKey) -> Line | None:
+        line = self._set_of(key).pop(key, None)
+        if line is not None:
+            self._count -= 1
+        return line
+
+    def resident_lines(self) -> list[Line]:
+        return [ln for bucket in self._sets.values() for ln in bucket.values()]
+
+    def resident_count(self) -> int:
+        return self._count

@@ -1,0 +1,188 @@
+"""Page-granularity swap cache section.
+
+This is Mira's *universal swap section* (paper section 5.3): a user-space
+swap system (userfaultfd in the paper) that transparently runs unmodified
+code.  Lines are 4 KB OS pages; hits cost nothing extra (the MMU resolves
+them), misses pay the kernel fault path plus a one-sided page fetch, and
+eviction follows an approximate global LRU with optional compiler hints.
+
+The FastSwap and Leap baselines reuse this machinery -- they are exactly
+"a swap section covering the whole heap", with Leap adding a
+majority-stride prefetcher.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.cache.stats import SectionStats
+from repro.errors import ConfigError
+from repro.memsim.address import PAGE_SIZE
+from repro.memsim.clock import VirtualClock
+from repro.memsim.cost_model import CostModel
+from repro.memsim.network import Network
+
+
+@dataclass
+class PageEntry:
+    page: int
+    obj_id: int
+    dirty: bool = False
+    evictable: bool = False
+    ready_at: float = 0.0
+
+
+class SwapSection:
+    """A pool of physical pages fronting far memory, keyed by page number."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        cost: CostModel,
+        clock: VirtualClock,
+        network: Network,
+        extra_fault_ns: float = 0.0,
+        fault_lock=None,
+    ) -> None:
+        if size_bytes < PAGE_SIZE:
+            raise ConfigError("swap section needs at least one page")
+        self.cost = cost
+        self.clock = clock
+        self.network = network
+        self.extra_fault_ns = extra_fault_ns
+        #: optional SerialResource modelling the kernel swap lock that
+        #: serializes concurrent faults (multi-threading, Fig. 24/25)
+        self.fault_lock = fault_lock
+        self.capacity_pages = size_bytes // PAGE_SIZE
+        self._pages: OrderedDict[int, PageEntry] = OrderedDict()
+        self._evictable: OrderedDict[int, None] = OrderedDict()
+        self.stats = SectionStats()
+
+    # -- geometry ------------------------------------------------------------
+
+    @staticmethod
+    def pages_of(va: int, size: int) -> range:
+        if size <= 0:
+            size = 1
+        return range(va // PAGE_SIZE, (va + size - 1) // PAGE_SIZE + 1)
+
+    # -- data path ----------------------------------------------------------
+
+    def access(self, va: int, size: int, is_write: bool, obj_id: int = 0) -> bool:
+        """Touch ``[va, va+size)``; returns True iff all pages were hits."""
+        all_hit = True
+        for page in self.pages_of(va, size):
+            hit = self._access_page(page, is_write, obj_id)
+            all_hit = all_hit and hit
+        return all_hit
+
+    def _access_page(self, page: int, is_write: bool, obj_id: int) -> bool:
+        self.stats.accesses += 1
+        entry = self._pages.get(page)
+        if entry is not None:
+            self._pages.move_to_end(page)
+            if is_write:
+                entry.dirty = True
+            if entry.evictable:
+                entry.evictable = False
+                self._evictable.pop(page, None)
+            if entry.ready_at > self.clock.now:
+                wait = entry.ready_at - self.clock.now
+                self.clock.wait_until(entry.ready_at, "miss_wait")
+                self.stats.miss_wait_ns += wait
+                self.stats.prefetch_hits += 1
+                self.stats.misses += 1
+                entry.ready_at = 0.0
+                return False
+            self.stats.hits += 1
+            return True
+        # page fault: kernel path, then a one-sided page read (recorded
+        # on the network so traffic accounting sees the amplification)
+        self.stats.misses += 1
+        self._fault_serialize()
+        self._make_room()
+        fault_ns = self.cost.page_fault_ns + self.extra_fault_ns
+        self.clock.advance(fault_ns, "page_fault")
+        wire_ns = self.network.read(PAGE_SIZE, one_sided=True)
+        self.stats.miss_wait_ns += fault_ns + wire_ns
+        self._pages[page] = PageEntry(page=page, obj_id=obj_id, dirty=is_write)
+        return False
+
+    def prefetch(self, page: int, obj_id: int = 0) -> None:
+        """Asynchronously map a page ahead of demand."""
+        if page in self._pages:
+            return
+        self._make_room()
+        ready = self.network.read_async(PAGE_SIZE, one_sided=True)
+        self._pages[page] = PageEntry(page=page, obj_id=obj_id, ready_at=ready)
+        self.stats.prefetches_issued += 1
+
+    def contains(self, page: int) -> bool:
+        return page in self._pages
+
+    def evict_hint(self, va: int, size: int) -> None:
+        for page in self.pages_of(va, size):
+            entry = self._pages.get(page)
+            if entry is not None:
+                entry.evictable = True
+                self._evictable[page] = None
+
+    def flush(self, va: int, size: int) -> None:
+        for page in self.pages_of(va, size):
+            entry = self._pages.get(page)
+            if entry is not None and entry.dirty:
+                self.network.write_async(PAGE_SIZE, one_sided=True)
+                entry.dirty = False
+                self.stats.writebacks += 1
+
+    def drop_object(self, obj_id: int) -> None:
+        """Unmap every page of an object (it moved to its own section or
+        its lifetime ended); dirty pages are written back asynchronously."""
+        doomed = [p for p, e in self._pages.items() if e.obj_id == obj_id]
+        for page in doomed:
+            entry = self._pages.pop(page)
+            self._evictable.pop(page, None)
+            if entry.dirty:
+                self.network.write_async(PAGE_SIZE, one_sided=True)
+                self.stats.writebacks += 1
+
+    def resize(self, size_bytes: int) -> None:
+        """Grow or shrink the page pool; shrinking evicts LRU pages."""
+        self.capacity_pages = max(1, size_bytes // PAGE_SIZE)
+        while len(self._pages) > self.capacity_pages:
+            self._evict_one()
+
+    # -- internals ----------------------------------------------------------
+
+    def _fault_serialize(self) -> None:
+        if self.fault_lock is not None:
+            self.fault_lock.acquire(self.clock, self.cost.page_fault_ns * 0.5)
+
+    def _make_room(self) -> None:
+        if len(self._pages) >= self.capacity_pages:
+            self._evict_one()
+
+    def _evict_one(self) -> None:
+        if self._evictable:
+            page = next(iter(self._evictable))
+            del self._evictable[page]
+            entry = self._pages.pop(page)
+            self.stats.hinted_evictions += 1
+        else:
+            page, entry = self._pages.popitem(last=False)
+            self._evictable.pop(page, None)
+        self.stats.evictions += 1
+        if entry.dirty:
+            self.clock.advance(self.cost.page_writeback_ns, "eviction")
+            self.network.write_async(PAGE_SIZE, one_sided=True)
+            self.stats.writebacks += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def metadata_bytes(self) -> int:
+        """Page-table-like bookkeeping: 8 bytes per resident page."""
+        return len(self._pages) * 8
+
+    def resident_pages(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,99 @@
+"""Input adaptation (paper section 3, "Input adaptation").
+
+"To adapt our compilation and cache configurations to inputs, we invoke
+profiling on sampled inputs.  When the current compilation and cache
+configurations' performance degrades, we trigger a round of iterative
+code optimization in the background while the user invocation of a
+program keeps using the current compilation."
+
+:class:`AdaptiveRunner` wraps a compiled program: every invocation runs
+on the *current* compilation; when an invocation's time exceeds the
+expected time by more than ``degradation_threshold``, a re-optimization
+round runs (with the new inputs' data) and subsequent invocations use its
+output.  The administrator knobs of section 3 map to
+``degradation_threshold`` and the controller's ``max_iterations`` /
+``min_gain`` stopping criteria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.controller import CompiledProgram, MiraController
+from repro.core.runner import run_plan
+from repro.memsim.cost_model import CostModel
+from repro.runtime.interpreter import DataInit, RunResult
+
+
+@dataclass
+class InvocationRecord:
+    elapsed_ns: float
+    degraded: bool
+    reoptimized: bool
+
+
+class AdaptiveRunner:
+    """Serves program invocations, re-optimizing when inputs change the
+    performance profile."""
+
+    def __init__(
+        self,
+        build_module,
+        cost: CostModel,
+        local_mem_bytes: int,
+        train_data_init: DataInit | None,
+        entry: str = "main",
+        degradation_threshold: float = 0.25,
+        max_iterations: int = 2,
+        sample_sizes: bool = False,
+    ) -> None:
+        self.build_module = build_module
+        self.cost = cost
+        self.local_mem_bytes = local_mem_bytes
+        self.entry = entry
+        self.degradation_threshold = degradation_threshold
+        self.max_iterations = max_iterations
+        self.sample_sizes = sample_sizes
+        self.history: list[InvocationRecord] = []
+        self.reoptimizations = 0
+        self.program: CompiledProgram = self._optimize(train_data_init)
+        #: expected per-invocation time, from the training round
+        self.expected_ns = self.program.best_ns
+
+    def _optimize(self, data_init: DataInit | None) -> CompiledProgram:
+        controller = MiraController(
+            self.build_module,
+            self.cost,
+            self.local_mem_bytes,
+            data_init=data_init,
+            entry=self.entry,
+            max_iterations=self.max_iterations,
+            sample_sizes=self.sample_sizes,
+        )
+        return controller.optimize()
+
+    def invoke(self, data_init: DataInit | None) -> RunResult:
+        """One user invocation with (possibly new) input data."""
+        result = run_plan(
+            self.program.module,
+            self.cost,
+            self.local_mem_bytes,
+            data_init=data_init,
+            entry=self.entry,
+        )
+        degraded = result.elapsed_ns > self.expected_ns * (
+            1.0 + self.degradation_threshold
+        )
+        reoptimized = False
+        if degraded:
+            # the paper re-optimizes in the background while the current
+            # compilation keeps serving; subsequent invocations use the
+            # new round's output
+            self.program = self._optimize(data_init)
+            self.expected_ns = self.program.best_ns
+            self.reoptimizations += 1
+            reoptimized = True
+        self.history.append(
+            InvocationRecord(result.elapsed_ns, degraded, reoptimized)
+        )
+        return result

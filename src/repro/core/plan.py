@@ -1,0 +1,75 @@
+"""The Mira plan: everything one optimization iteration decides.
+
+A plan couples the cache configuration (sections and their parameters,
+sections 4.1-4.3) with the compilation decisions (which sites become
+remotable, which functions offload, which optimizations run, sections
+4.4-4.8).  The pipeline embeds the plan in the compiled module's
+attributes; the runner materializes it on the cache manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cache.config import SectionConfig
+
+
+@dataclass
+class SectionPlan:
+    """One cache section and the objects (by allocation name) it holds."""
+
+    config: SectionConfig
+    object_names: list[str]
+    #: split into this many per-thread private clones (section 4.6)
+    per_thread: int = 0
+
+    def with_size(self, size_bytes: int) -> "SectionPlan":
+        return SectionPlan(
+            replace(self.config, size_bytes=size_bytes),
+            list(self.object_names),
+            self.per_thread,
+        )
+
+
+@dataclass
+class MiraPlan:
+    """A full iteration's output (empty plan = generic all-swap)."""
+
+    sections: list[SectionPlan] = field(default_factory=list)
+    #: allocation names converted to remotable
+    converted_sites: list[str] = field(default_factory=list)
+    #: functions to offload to the far-memory node
+    offload_functions: list[str] = field(default_factory=list)
+    #: which pipeline passes run (see pipeline.ALL_OPTIONS)
+    options: frozenset[str] = frozenset(
+        {"convert", "batching", "prefetch", "evict", "readwrite", "native", "offload"}
+    )
+    #: provenance: analysis fractions, chosen functions, etc.
+    notes: dict = field(default_factory=dict)
+
+    def section(self, name: str) -> SectionPlan:
+        for sp in self.sections:
+            if sp.config.name == name:
+                return sp
+        raise KeyError(f"no section plan named {name!r}")
+
+    def total_section_bytes(self) -> int:
+        return sum(sp.config.size_bytes for sp in self.sections)
+
+    def without_options(self, *dropped: str) -> "MiraPlan":
+        """A copy with some optimizations disabled (ablation studies)."""
+        return MiraPlan(
+            sections=[
+                SectionPlan(sp.config, list(sp.object_names), sp.per_thread)
+                for sp in self.sections
+            ],
+            converted_sites=list(self.converted_sites),
+            offload_functions=list(self.offload_functions),
+            options=self.options - set(dropped),
+            notes=dict(self.notes),
+        )
+
+    @staticmethod
+    def swap_only() -> "MiraPlan":
+        """The initial configuration: everything in the swap section."""
+        return MiraPlan(options=frozenset())

@@ -1,0 +1,51 @@
+"""Executing compiled programs on Mira's runtime or on a baseline.
+
+``run_plan`` materializes the plan embedded by the pipeline: it opens the
+planned sections on a fresh cache manager, registers object->section
+assignments (applied when the program's allocations execute), and runs the
+interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cache.interface import MemorySystem
+from repro.cache.manager import CacheManager
+from repro.core.plan import MiraPlan
+from repro.ir.core import Module
+from repro.memsim.cost_model import CostModel
+from repro.runtime.interpreter import DataInit, Interpreter, RunResult
+
+
+def run_plan(
+    compiled: Module,
+    cost: CostModel,
+    local_mem_bytes: int,
+    data_init: DataInit | None = None,
+    entry: str = "main",
+    num_threads: int = 1,
+) -> RunResult:
+    """Run a pipeline-compiled module on the Mira runtime."""
+    from repro.memsim.resources import SerialResource
+
+    fault_lock = SerialResource("swap-lock") if num_threads > 1 else None
+    manager = CacheManager(cost, local_mem_bytes, fault_lock=fault_lock)
+    plan: MiraPlan = compiled.attrs.get("plan", MiraPlan.swap_only())
+    for sp in plan.sections:
+        manager.open_section(sp.config, [], per_thread=sp.per_thread)
+        for name in sp.object_names:
+            manager.pending_assignment[name] = sp.config.name
+    interp = Interpreter(compiled, manager, data_init)
+    return interp.run(entry)
+
+
+def run_on_baseline(
+    module: Module,
+    system: MemorySystem,
+    data_init: DataInit | None = None,
+    entry: str = "main",
+) -> RunResult:
+    """Run an (uncompiled) module on any memory system."""
+    interp = Interpreter(module, system, data_init)
+    return interp.run(entry)

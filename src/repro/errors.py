@@ -1,0 +1,41 @@
+"""Exception hierarchy for the Mira reproduction.
+
+All library-raised exceptions derive from :class:`MiraError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class MiraError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class IRError(MiraError):
+    """Malformed IR: verification failures, bad operand types, etc."""
+
+
+class VerificationError(IRError):
+    """An IR module failed structural verification."""
+
+
+class InterpreterError(MiraError):
+    """The interpreter hit an illegal state (bad value, missing func, ...)."""
+
+
+class MemoryError_(MiraError):
+    """Memory-system misuse: unknown object, out-of-bounds access, ..."""
+
+
+class AllocationError(MemoryError_):
+    """An allocation could not be satisfied (e.g. AIFM metadata overflow)."""
+
+
+class ConfigError(MiraError):
+    """Invalid cache/section/system configuration."""
+
+
+class SolverError(MiraError):
+    """The section-size ILP had no feasible solution."""
+
+
+class OffloadError(MiraError):
+    """A function could not be offloaded (shared writable data, ...)."""

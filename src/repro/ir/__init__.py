@@ -1,0 +1,48 @@
+"""A small multi-dialect SSA IR, in the spirit of MLIR.
+
+The paper implements Mira's static parts as MLIR dialects (``remotable``
+and ``rmem``, section 5.1) plus analyses and rewrites over standard
+dialects.  This package provides the equivalent substrate:
+
+* :mod:`repro.ir.types` -- index/int/float/struct/memref/function types;
+* :mod:`repro.ir.core` -- values, operations, blocks, regions, functions,
+  modules;
+* :mod:`repro.ir.dialects` -- ``arith``, ``memref``, ``scf``, ``func``,
+  ``compute``, ``remotable``, ``rmem``, ``prof``;
+* :mod:`repro.ir.builder` -- an ergonomic construction API;
+* :mod:`repro.ir.printer` -- the textual form used for Figs. 13/14;
+* :mod:`repro.ir.verifier` -- structural/SSA verification.
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.core import Block, Function, Module, Operation, Region, Value
+from repro.ir.printer import print_module
+from repro.ir.types import (
+    BoolType,
+    FloatType,
+    FuncType,
+    IndexType,
+    IntType,
+    MemRefType,
+    StructType,
+)
+from repro.ir.verifier import verify
+
+__all__ = [
+    "IRBuilder",
+    "Block",
+    "Function",
+    "Module",
+    "Operation",
+    "Region",
+    "Value",
+    "print_module",
+    "BoolType",
+    "FloatType",
+    "FuncType",
+    "IndexType",
+    "IntType",
+    "MemRefType",
+    "StructType",
+    "verify",
+]

@@ -1,0 +1,78 @@
+"""Deep-cloning of IR.
+
+The controller compiles a fresh copy of the program each iteration (and
+rolls back to the previous one when a new configuration regresses,
+section 4.1), so cloning must preserve SSA structure exactly.
+
+Cloning is generic over op classes: every op's state lives in the base
+``Operation`` fields, so we can rebuild instances without calling the
+typed constructors.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.errors import IRError
+from repro.ir.core import Block, Function, Module, Operation, Region, Value
+
+
+def clone_module(module: Module) -> Module:
+    out = Module(module.name)
+    out.attrs = copy.deepcopy(module.attrs)
+    for fn in module.functions.values():
+        out.add(clone_function(fn))
+    return out
+
+
+def clone_function(fn: Function) -> Function:
+    value_map: dict[Value, Value] = {}
+    out = Function(
+        fn.name,
+        list(fn.type.inputs),
+        list(fn.type.results),
+        [a.name_hint for a in fn.args],
+    )
+    out.attrs = copy.deepcopy(fn.attrs)
+    for old_arg, new_arg in zip(fn.args, out.args):
+        value_map[old_arg] = new_arg
+    _clone_into(fn.body, out.body, value_map)
+    return out
+
+
+def _clone_into(src: Block, dst: Block, value_map: dict[Value, Value]) -> None:
+    for op in src.ops:
+        dst.ops.append(_clone_op(op, value_map, dst))
+
+
+def _clone_op(op: Operation, value_map: dict[Value, Value], parent: Block) -> Operation:
+    new_op: Operation = object.__new__(type(op))
+    try:
+        new_op.operands = [value_map[v] for v in op.operands]
+    except KeyError as e:
+        raise IRError(
+            f"clone of {op.opname}: operand {e.args[0]!r} not dominated by "
+            f"its definition"
+        ) from None
+    new_op.attrs = copy.deepcopy(op.attrs)
+    new_op.results = []
+    for res in op.results:
+        nv = Value(res.type, res.name_hint)
+        nv.producer = new_op
+        new_op.results.append(nv)
+        value_map[res] = nv
+    new_op.regions = []
+    for region in op.regions:
+        new_region = Region()
+        new_region.parent_op = new_op
+        for block in region.blocks:
+            new_block = Block(
+                [a.type for a in block.args], [a.name_hint for a in block.args]
+            )
+            new_region.add_block(new_block)
+            for old_arg, new_arg in zip(block.args, new_block.args):
+                value_map[old_arg] = new_arg
+            _clone_into(block, new_block, value_map)
+        new_op.regions.append(new_region)
+    new_op.parent_block = parent
+    return new_op

@@ -1,0 +1,11 @@
+"""Dialect op definitions.
+
+Mirrors the paper's layering: standard dialects (``arith``, ``memref``,
+``scf``, ``func``, ``compute``) plus Mira's two far-memory dialects,
+``remotable`` and ``rmem`` (section 5.1), and a ``prof`` dialect for the
+compiler-inserted coarse-grained profiling (section 4.1).
+"""
+
+from repro.ir.dialects import arith, compute, func, memref, prof, remotable, rmem, scf
+
+__all__ = ["arith", "compute", "func", "memref", "prof", "remotable", "rmem", "scf"]

@@ -1,0 +1,100 @@
+"""``arith`` dialect: constants, integer/float arithmetic, comparisons."""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.core import Operation, Value
+from repro.ir.types import BoolType, FloatType, IndexType, IntType, IRType
+
+#: binary op kinds and their Python semantics (integer division truncates
+#: toward zero, like C)
+BINARY_KINDS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": None,  # resolved per-type at interpretation
+    "rem": None,
+    "min": min,
+    "max": max,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+}
+
+CMP_PREDICATES = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+
+class ConstantOp(Operation):
+    opname = "arith.constant"
+
+    def __init__(self, value, type: IRType) -> None:
+        super().__init__((), [type], {"value": value})
+
+    @property
+    def value(self):
+        return self.attrs["value"]
+
+
+class BinaryOp(Operation):
+    opname = "arith.binary"
+
+    def __init__(self, kind: str, lhs: Value, rhs: Value) -> None:
+        if kind not in BINARY_KINDS:
+            raise IRError(f"unknown arith kind {kind!r}")
+        if not isinstance(lhs, Value) or not isinstance(rhs, Value):
+            raise IRError(
+                f"arith.{kind}: operands must be SSA Values, got "
+                f"{type(lhs).__name__}/{type(rhs).__name__}"
+            )
+        if lhs.type != rhs.type:
+            raise IRError(
+                f"arith.{kind}: operand types differ ({lhs.type} vs {rhs.type})"
+            )
+        super().__init__([lhs, rhs], [lhs.type], {"kind": kind})
+
+    @property
+    def kind(self) -> str:
+        return self.attrs["kind"]
+
+
+class CmpOp(Operation):
+    opname = "arith.cmp"
+
+    def __init__(self, pred: str, lhs: Value, rhs: Value) -> None:
+        if pred not in CMP_PREDICATES:
+            raise IRError(f"unknown compare predicate {pred!r}")
+        super().__init__([lhs, rhs], [BoolType], {"pred": pred})
+
+    @property
+    def pred(self) -> str:
+        return self.attrs["pred"]
+
+
+class SelectOp(Operation):
+    opname = "arith.select"
+
+    def __init__(self, cond: Value, a: Value, b: Value) -> None:
+        if a.type != b.type:
+            raise IRError(f"arith.select: branch types differ ({a.type} vs {b.type})")
+        super().__init__([cond, a, b], [a.type])
+
+
+class CastOp(Operation):
+    """index <-> int <-> float conversions."""
+
+    opname = "arith.cast"
+
+    def __init__(self, value: Value, to_type: IRType) -> None:
+        ok = isinstance(value.type, (IndexType, IntType, FloatType)) and isinstance(
+            to_type, (IndexType, IntType, FloatType)
+        )
+        if not ok:
+            raise IRError(f"cannot cast {value.type} to {to_type}")
+        super().__init__([value], [to_type])

@@ -1,0 +1,26 @@
+"""``compute`` dialect: abstract computation cost.
+
+``WorkOp`` charges pure CPU time without simulating the arithmetic --
+used by layer-granularity programs (GPT-2 matmuls) where per-element
+interpretation would add nothing to the memory-system evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.core import Operation
+
+
+class WorkOp(Operation):
+    """Charge ``units`` x ``cpu_op_ns`` of compute time."""
+
+    opname = "compute.work"
+
+    def __init__(self, units: float, label: str = "") -> None:
+        if units < 0:
+            raise IRError(f"compute.work: negative units {units}")
+        super().__init__((), (), {"units": float(units), "label": label})
+
+    @property
+    def units(self) -> float:
+        return self.attrs["units"]

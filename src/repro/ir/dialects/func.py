@@ -1,0 +1,26 @@
+"""``func`` dialect: calls and returns."""
+
+from __future__ import annotations
+
+from repro.ir.core import Operation, Value
+
+
+class CallOp(Operation):
+    opname = "func.call"
+
+    def __init__(
+        self, callee: str, args: list[Value] | tuple = (), result_types=()
+    ) -> None:
+        super().__init__(list(args), list(result_types), {"callee": callee})
+
+    @property
+    def callee(self) -> str:
+        return self.attrs["callee"]
+
+
+class ReturnOp(Operation):
+    opname = "func.return"
+    is_terminator = True
+
+    def __init__(self, values: list[Value] | tuple = ()) -> None:
+        super().__init__(list(values))

@@ -1,0 +1,158 @@
+"""``memref`` dialect: allocation and element-wise / range memory access.
+
+``TouchOp`` is the coarse-grained access used by layer-granularity
+programs (GPT-2): it streams a byte range through the memory system
+without per-element interpretation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.core import Operation, Value
+from repro.ir.types import INDEX, IndexType, IRType, MemRefType, StructType
+
+
+def _check_index(op: str, index: Value) -> None:
+    if not isinstance(index.type, IndexType):
+        raise IRError(f"{op}: index must be of index type, got {index.type}")
+
+
+def _check_ref(op: str, ref: Value, remote: bool | None = None) -> MemRefType:
+    if not isinstance(ref.type, MemRefType):
+        raise IRError(f"{op}: expected a memref operand, got {ref.type}")
+    if remote is not None and ref.type.remote != remote:
+        kind = "remote" if remote else "local"
+        raise IRError(f"{op}: expected a {kind} memref, got {ref.type}")
+    return ref.type
+
+
+def _loaded_type(ref_type: MemRefType, field: str | None) -> IRType:
+    if field is None:
+        return ref_type.elem
+    if not isinstance(ref_type.elem, StructType):
+        raise IRError(f"field access {field!r} on non-struct element {ref_type.elem}")
+    return ref_type.elem.field_type(field)
+
+
+class AllocOp(Operation):
+    opname = "memref.alloc"
+
+    def __init__(
+        self,
+        elem_type: IRType,
+        num_elems: int,
+        name: str = "",
+        obj_attrs: dict | None = None,
+    ) -> None:
+        if num_elems <= 0:
+            raise IRError(f"memref.alloc: num_elems must be positive, got {num_elems}")
+        super().__init__(
+            (),
+            [MemRefType(elem_type)],
+            {"num_elems": num_elems, "name": name, "obj_attrs": obj_attrs or {}},
+        )
+        self.result.name_hint = name
+
+    @property
+    def num_elems(self) -> int:
+        return self.attrs["num_elems"]
+
+    @property
+    def alloc_name(self) -> str:
+        return self.attrs["name"]
+
+
+class LoadOp(Operation):
+    opname = "memref.load"
+
+    def __init__(self, ref: Value, index: Value, field: str | None = None) -> None:
+        rt = _check_ref(self.opname, ref, remote=False)
+        _check_index(self.opname, index)
+        super().__init__([ref, index], [_loaded_type(rt, field)], {"field": field})
+
+    @property
+    def ref(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def field(self) -> str | None:
+        return self.attrs.get("field")
+
+
+class StoreOp(Operation):
+    opname = "memref.store"
+
+    def __init__(
+        self, value: Value, ref: Value, index: Value, field: str | None = None
+    ) -> None:
+        rt = _check_ref(self.opname, ref, remote=False)
+        _check_index(self.opname, index)
+        expected = _loaded_type(rt, field)
+        if value.type != expected:
+            raise IRError(
+                f"memref.store: storing {value.type} into slot of type {expected}"
+            )
+        super().__init__([value, ref, index], (), {"field": field})
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def ref(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[2]
+
+    @property
+    def field(self) -> str | None:
+        return self.attrs.get("field")
+
+
+class DeallocOp(Operation):
+    opname = "memref.dealloc"
+
+    def __init__(self, ref: Value) -> None:
+        _check_ref(self.opname, ref)
+        super().__init__([ref])
+
+    @property
+    def ref(self) -> Value:
+        return self.operands[0]
+
+
+class TouchOp(Operation):
+    """Stream ``length`` bytes starting at byte ``start`` (coarse access)."""
+
+    opname = "memref.touch"
+
+    def __init__(
+        self, ref: Value, start: Value, length: int, is_write: bool = False
+    ) -> None:
+        _check_ref(self.opname, ref)
+        _check_index(self.opname, start)
+        if length <= 0:
+            raise IRError(f"memref.touch: length must be positive, got {length}")
+        super().__init__([ref, start], (), {"length": length, "is_write": is_write})
+
+    @property
+    def ref(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def start(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def length(self) -> int:
+        return self.attrs["length"]
+
+    @property
+    def is_write(self) -> bool:
+        return self.attrs["is_write"]

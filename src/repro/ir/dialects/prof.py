@@ -1,0 +1,32 @@
+"""``prof`` dialect: compiler-inserted coarse-grained profiling markers
+(paper section 4.1).
+
+Profiling is instrumented at compile time and only fires on non-native
+cache events, keeping overhead in the sub-percent range the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.ir.core import Operation
+
+
+class RegionBeginOp(Operation):
+    opname = "prof.begin"
+
+    def __init__(self, label: str) -> None:
+        super().__init__((), (), {"label": label})
+
+    @property
+    def label(self) -> str:
+        return self.attrs["label"]
+
+
+class RegionEndOp(Operation):
+    opname = "prof.end"
+
+    def __init__(self, label: str) -> None:
+        super().__init__((), (), {"label": label})
+
+    @property
+    def label(self) -> str:
+        return self.attrs["label"]

@@ -1,0 +1,46 @@
+"""``remotable`` dialect (paper section 5.1).
+
+Defines data objects placed in non-swap cache sections and functions that
+may be offloaded.  ``remotable.alloc`` is produced by the convert-to-remote
+pass from a selected ``memref.alloc``; remotable *functions* are plain
+functions with the ``remotable`` attribute set by the backward analysis of
+section 5.2.1.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.core import Operation
+from repro.ir.types import IRType, MemRefType
+
+
+class RAllocOp(Operation):
+    """Allocate a remotable object (far-memory backed)."""
+
+    opname = "remotable.alloc"
+
+    def __init__(
+        self,
+        elem_type: IRType,
+        num_elems: int,
+        name: str = "",
+        obj_attrs: dict | None = None,
+    ) -> None:
+        if num_elems <= 0:
+            raise IRError(
+                f"remotable.alloc: num_elems must be positive, got {num_elems}"
+            )
+        super().__init__(
+            (),
+            [MemRefType(elem_type, remote=True)],
+            {"num_elems": num_elems, "name": name, "obj_attrs": obj_attrs or {}},
+        )
+        self.result.name_hint = name
+
+    @property
+    def num_elems(self) -> int:
+        return self.attrs["num_elems"]
+
+    @property
+    def alloc_name(self) -> str:
+        return self.attrs["name"]

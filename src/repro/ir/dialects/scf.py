@@ -1,0 +1,204 @@
+"""``scf`` dialect: structured control flow (for, if, while, parallel)."""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.core import Block, Operation, Region, Value
+from repro.ir.types import INDEX, IndexType, IntType
+
+
+def _check_bound(op: str, v: Value, what: str) -> None:
+    if not isinstance(v.type, IndexType):
+        raise IRError(f"{op}: {what} must be index-typed, got {v.type}")
+
+
+class YieldOp(Operation):
+    """Terminator of loop/if bodies, forwarding iteration/branch values."""
+
+    opname = "scf.yield"
+    is_terminator = True
+
+    def __init__(self, values: list[Value] | tuple = ()) -> None:
+        super().__init__(list(values))
+
+
+class ConditionOp(Operation):
+    """Terminator of a while-loop's 'before' region: continue predicate
+    plus the values forwarded to the body."""
+
+    opname = "scf.condition"
+    is_terminator = True
+
+    def __init__(self, cond: Value, forwarded: list[Value] | tuple = ()) -> None:
+        if cond.type != IntType(1):
+            raise IRError(f"scf.condition: predicate must be i1, got {cond.type}")
+        super().__init__([cond, *forwarded])
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def forwarded(self) -> list[Value]:
+        return self.operands[1:]
+
+
+class ForOp(Operation):
+    """Counted loop with loop-carried values (iter_args).
+
+    Body block args: ``[induction_var, *iter_args]``; body terminates with
+    ``scf.yield`` of the next iter_arg values; the op's results are the
+    final iter_arg values.
+    """
+
+    opname = "scf.for"
+
+    def __init__(
+        self,
+        lb: Value,
+        ub: Value,
+        step: Value,
+        iter_args: list[Value] | tuple = (),
+    ) -> None:
+        for v, what in ((lb, "lower bound"), (ub, "upper bound"), (step, "step")):
+            _check_bound(self.opname, v, what)
+        iter_args = list(iter_args)
+        body = Block(
+            [INDEX] + [v.type for v in iter_args],
+            ["i"] + [v.name_hint for v in iter_args],
+        )
+        super().__init__(
+            [lb, ub, step, *iter_args],
+            [v.type for v in iter_args],
+            {},
+            [Region([body])],
+        )
+
+    @property
+    def lb(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def ub(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def step(self) -> Value:
+        return self.operands[2]
+
+    @property
+    def iter_args(self) -> list[Value]:
+        return self.operands[3:]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def induction_var(self) -> Value:
+        return self.body.args[0]
+
+    @property
+    def body_iter_args(self) -> list[Value]:
+        return self.body.args[1:]
+
+
+class ParallelOp(Operation):
+    """Parallel counted loop over ``num_threads`` virtual threads.
+
+    No loop-carried values; iterations must be independent except through
+    memory (the interpreter simulates per-thread clocks, section 4.6).
+    """
+
+    opname = "scf.parallel"
+
+    def __init__(self, lb: Value, ub: Value, step: Value, num_threads: int) -> None:
+        for v, what in ((lb, "lower bound"), (ub, "upper bound"), (step, "step")):
+            _check_bound(self.opname, v, what)
+        if num_threads <= 0:
+            raise IRError(f"scf.parallel: need >=1 threads, got {num_threads}")
+        body = Block([INDEX], ["i"])
+        super().__init__(
+            [lb, ub, step], (), {"num_threads": num_threads}, [Region([body])]
+        )
+
+    @property
+    def lb(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def ub(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def step(self) -> Value:
+        return self.operands[2]
+
+    @property
+    def num_threads(self) -> int:
+        return self.attrs["num_threads"]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def induction_var(self) -> Value:
+        return self.body.args[0]
+
+
+class IfOp(Operation):
+    """Two-armed conditional; both arms yield the same result types."""
+
+    opname = "scf.if"
+
+    def __init__(self, cond: Value, result_types: list | tuple = ()) -> None:
+        if cond.type != IntType(1):
+            raise IRError(f"scf.if: condition must be i1, got {cond.type}")
+        super().__init__(
+            [cond],
+            list(result_types),
+            {},
+            [Region([Block()]), Region([Block()])],
+        )
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def then_block(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def else_block(self) -> Block:
+        return self.regions[1].block
+
+
+class WhileOp(Operation):
+    """General loop: 'before' region computes the continue condition from
+    the carried values (terminated by ``scf.condition``); 'after' region is
+    the body (terminated by ``scf.yield`` of the next carried values)."""
+
+    opname = "scf.while"
+
+    def __init__(self, init_args: list[Value]) -> None:
+        types = [v.type for v in init_args]
+        names = [v.name_hint for v in init_args]
+        before = Block(types, names)
+        after = Block(types, names)
+        super().__init__(
+            list(init_args), types, {}, [Region([before]), Region([after])]
+        )
+
+    @property
+    def init_args(self) -> list[Value]:
+        return self.operands
+
+    @property
+    def before(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def after(self) -> Block:
+        return self.regions[1].block

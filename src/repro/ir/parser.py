@@ -1,0 +1,312 @@
+"""Textual IR parser: the inverse of :mod:`repro.ir.printer`.
+
+Round-tripping (print -> parse -> print gives identical text) lets
+compiled programs be saved, inspected, edited, and reloaded -- the
+equivalent of MLIR's textual format in the paper's toolchain.
+
+Grammar (line-oriented, as the printer emits):
+
+    module @name {
+      func @f(%arg: type, ...) -> (types) attributes {k = v} {
+        %r = dialect.op(%a, %b) {attr = value} : result-type
+        scf.for %i = %lb to %ub step %st iter_args(%x = %init) { ... }
+        scf.if %c { ... } else { ... }
+        scf.while (%a) { ... } do { ... }
+        scf.parallel %i = %lb to %ub step %st threads(4) { ... }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.errors import IRError
+from repro.ir.core import Block, Function, Module, Operation, Region, Value
+from repro.ir.dialects import arith, compute, func as func_d, memref, prof, remotable, rmem, scf
+from repro.ir.types import (
+    BoolType,
+    FloatType,
+    IndexType,
+    IntType,
+    IRType,
+    MemRefType,
+    StructType,
+)
+
+_TYPE_RE = re.compile(r"^(r?memref)<(.+)>$")
+_STRUCT_RE = re.compile(r"^!(\w+)<(.*)>$")
+_FUNC_RE = re.compile(
+    r"^func @(\w+)\((.*?)\)(?:\s*->\s*\((.*?)\))?"
+    r"(?:\s*attributes\s*\{(.*)\})?\s*\{$"
+)
+_FOR_RE = re.compile(
+    r"^(?:(.+?)\s*=\s*)?scf\.for %(\S+) = %(\S+) to %(\S+) step %(\S+)"
+    r"(?:\s+iter_args\((.*?)\))?\s*\{$"
+)
+_PARALLEL_RE = re.compile(
+    r"^scf\.parallel %(\S+) = %(\S+) to %(\S+) step %(\S+) threads\((\d+)\)\s*\{$"
+)
+_IF_RE = re.compile(r"^(?:(.+?)\s*=\s*)?scf\.if %(\S+)\s*\{$")
+_WHILE_RE = re.compile(r"^(?:(.+?)\s*=\s*)?scf\.while \((.*?)\)\s*\{$")
+_GENERIC_RE = re.compile(
+    r"^(?:(.+?)\s*=\s*)?([\w.]+)\((.*?)\)(?:\s*\{(.*)\})?(?:\s*:\s*(.+))?$"
+)
+
+#: opname -> op class, for generic reconstruction
+_OP_CLASSES: dict[str, type[Operation]] = {}
+for _mod in (arith, memref, scf, func_d, compute, remotable, rmem, prof):
+    for _name in dir(_mod):
+        _obj = getattr(_mod, _name)
+        if isinstance(_obj, type) and issubclass(_obj, Operation):
+            if getattr(_obj, "opname", None):
+                _OP_CLASSES[_obj.opname] = _obj
+
+
+def parse_type(text: str) -> IRType:
+    text = text.strip()
+    if text == "index":
+        return IndexType()
+    if re.fullmatch(r"i\d+", text):
+        return IntType(int(text[1:]))
+    if re.fullmatch(r"f\d+", text):
+        return FloatType(int(text[1:]))
+    m = _TYPE_RE.match(text)
+    if m:
+        return MemRefType(parse_type(m.group(2)), remote=m.group(1) == "rmemref")
+    m = _STRUCT_RE.match(text)
+    if m:
+        fields = []
+        for part in _split_top(m.group(2), ","):
+            fname, _, ftype = part.partition(":")
+            fields.append((fname.strip(), parse_type(ftype.strip())))
+        return StructType(m.group(1), tuple(fields))
+    raise IRError(f"cannot parse type {text!r}")
+
+
+def _split_top(text: str, sep: str) -> list[str]:
+    """Split at top level (not inside <>, (), {})."""
+    parts, depth, cur = [], 0, []
+    for ch in text:
+        if ch in "<({":
+            depth += 1
+        elif ch in ">)}":
+            depth -= 1
+        if ch == sep and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        parts.append("".join(cur))
+    return [p.strip() for p in parts if p.strip()]
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.lines = [ln.strip() for ln in text.splitlines() if ln.strip()]
+        self.pos = 0
+        self.values: dict[str, Value] = {}
+
+    def peek(self) -> str:
+        if self.pos >= len(self.lines):
+            raise IRError("unexpected end of IR text")
+        return self.lines[self.pos]
+
+    def next(self) -> str:
+        line = self.peek()
+        self.pos += 1
+        return line
+
+    # -- top level --------------------------------------------------------
+
+    def parse_module(self) -> Module:
+        line = self.next()
+        m = re.match(r"^module @(\w+)\s*\{$", line)
+        if not m:
+            raise IRError(f"expected 'module @name {{', got {line!r}")
+        module = Module(m.group(1))
+        while self.peek() != "}":
+            module.add(self.parse_function())
+        self.next()
+        return module
+
+    def parse_function(self) -> Function:
+        line = self.next()
+        m = _FUNC_RE.match(line)
+        if not m:
+            raise IRError(f"expected function header, got {line!r}")
+        name, args_text, results_text, attrs_text = m.groups()
+        arg_names, arg_types = [], []
+        for part in _split_top(args_text or "", ","):
+            aname, _, atype = part.partition(":")
+            arg_names.append(aname.strip().lstrip("%"))
+            arg_types.append(parse_type(atype.strip()))
+        result_types = [
+            parse_type(t) for t in _split_top(results_text or "", ",")
+        ]
+        fn = Function(name, arg_types, result_types, arg_names)
+        if attrs_text:
+            fn.attrs.update(_parse_attrs(attrs_text))
+        self.values = {}
+        for n, v in zip(arg_names, fn.args):
+            self.values[n] = v
+        self._parse_block_body(fn.body)
+        return fn
+
+    # -- blocks and ops -----------------------------------------------------
+
+    def _parse_block_body(self, block: Block) -> None:
+        """Parse ops until the matching '}' (consumed)."""
+        while True:
+            line = self.peek()
+            if line in ("}", "} else {", "} do {"):
+                self.next()
+                return
+            self._parse_op(block)
+
+    def _parse_op(self, block: Block) -> None:
+        line = self.next()
+        m = _FOR_RE.match(line)
+        if m:
+            self._parse_for(m, block)
+            return
+        m = _PARALLEL_RE.match(line)
+        if m:
+            self._parse_parallel(m, block)
+            return
+        m = _IF_RE.match(line)
+        if m:
+            self._parse_if(m, block)
+            return
+        m = _WHILE_RE.match(line)
+        if m:
+            self._parse_while(m, block)
+            return
+        m = _GENERIC_RE.match(line)
+        if not m:
+            raise IRError(f"cannot parse op line {line!r}")
+        results_text, opname, operands_text, attrs_text, types_text = m.groups()
+        operands = [self._value(v) for v in _split_top(operands_text or "", ",")]
+        attrs = _parse_attrs(attrs_text or "")
+        result_types = [parse_type(t) for t in _split_top(types_text or "", ",")]
+        op = self._rebuild(opname, operands, result_types, attrs)
+        block.append(op)
+        self._bind_results(results_text, op)
+
+    def _rebuild(self, opname, operands, result_types, attrs) -> Operation:
+        cls = _OP_CLASSES.get(opname)
+        if cls is None:
+            raise IRError(f"unknown op {opname!r}")
+        op: Operation = object.__new__(cls)
+        Operation.__init__(op, operands, result_types, attrs)
+        return op
+
+    def _parse_for(self, m, block: Block) -> None:
+        results_text, iv_name, lb, ub, step, iters_text = m.groups()
+        inits, arg_names = [], []
+        for part in _split_top(iters_text or "", ","):
+            barg, _, init = part.partition("=")
+            arg_names.append(barg.strip().lstrip("%"))
+            inits.append(self._value(init.strip()))
+        op = scf.ForOp(self._value(f"%{lb}"), self._value(f"%{ub}"),
+                       self._value(f"%{step}"), inits)
+        block.append(op)
+        self.values[iv_name] = op.induction_var
+        op.induction_var.name_hint = iv_name
+        for n, v in zip(arg_names, op.body_iter_args):
+            self.values[n] = v
+            v.name_hint = n
+        self._parse_block_body(op.body)
+        self._bind_results(results_text, op)
+
+    def _parse_parallel(self, m, block: Block) -> None:
+        iv_name, lb, ub, step, threads = m.groups()
+        op = scf.ParallelOp(
+            self._value(f"%{lb}"), self._value(f"%{ub}"),
+            self._value(f"%{step}"), int(threads),
+        )
+        block.append(op)
+        self.values[iv_name] = op.induction_var
+        op.induction_var.name_hint = iv_name
+        self._parse_block_body(op.body)
+
+    def _parse_if(self, m, block: Block) -> None:
+        results_text, cond = m.groups()
+        # result types are unknown until the arms are parsed; parse the
+        # then-arm into a temporary block first
+        op_cond = self._value(f"%{cond}")
+        then_block = Block()
+        closer = self._parse_into(then_block)
+        else_block = Block()
+        if closer == "} else {":
+            self._parse_block_body(else_block)
+        term = then_block.terminator
+        result_types = [v.type for v in term.operands] if term else []
+        op = scf.IfOp(op_cond, result_types)
+        op.regions[0].blocks[0] = then_block
+        then_block.parent_region = op.regions[0]
+        op.regions[1].blocks[0] = else_block
+        else_block.parent_region = op.regions[1]
+        block.append(op)
+        self._bind_results(results_text, op)
+
+    def _parse_into(self, block: Block) -> str:
+        """Like _parse_block_body but reports which closer ended it."""
+        while True:
+            line = self.peek()
+            if line in ("}", "} else {", "} do {"):
+                self.next()
+                return line
+            self._parse_op(block)
+
+    def _parse_while(self, m, block: Block) -> None:
+        results_text, inits_text = m.groups()
+        inits = [self._value(v) for v in _split_top(inits_text or "", ",")]
+        op = scf.WhileOp(inits)
+        block.append(op)
+        for v, init in zip(op.before.args, inits):
+            pass  # before args bound by position below
+        # printer does not name while block args; rebind by position when
+        # the body references them is unsupported -- while round-trip
+        # requires named args, which the printer provides via name hints
+        self._parse_block_body(op.before)
+        self._parse_block_body(op.after)
+        self._bind_results(results_text, op)
+
+    def _bind_results(self, results_text: str | None, op: Operation) -> None:
+        if not results_text:
+            return
+        names = [n.strip().lstrip("%") for n in results_text.split(",")]
+        if len(names) != len(op.results):
+            raise IRError(
+                f"{op.opname}: {len(names)} result names for "
+                f"{len(op.results)} results"
+            )
+        for n, v in zip(names, op.results):
+            self.values[n] = v
+            v.name_hint = n
+
+    def _value(self, token: str) -> Value:
+        token = token.strip()
+        if not token.startswith("%"):
+            raise IRError(f"expected %value, got {token!r}")
+        name = token[1:]
+        try:
+            return self.values[name]
+        except KeyError:
+            raise IRError(f"use of undefined value %{name}") from None
+
+
+def _parse_attrs(text: str) -> dict:
+    attrs: dict = {}
+    for part in _split_top(text, ","):
+        key, _, val = part.partition("=")
+        attrs[key.strip()] = ast.literal_eval(val.strip())
+    return attrs
+
+
+def parse_module(text: str) -> Module:
+    """Parse printed IR text back into a module."""
+    return _Parser(text).parse_module()

@@ -1,0 +1,149 @@
+"""Textual IR printing (MLIR-flavored).
+
+This is what reproduces the paper's Figs. 13 and 14: the graph-traversal
+example after conversion to ``remotable``/``rmem`` and after prefetch
+optimization.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.ir.core import Block, Function, Module, Operation, Value
+from repro.ir.dialects import scf
+
+
+class _Namer:
+    def __init__(self) -> None:
+        self._names: dict[int, str] = {}
+        self._counter = 0
+        self._used: set[str] = set()
+
+    def name(self, v: Value) -> str:
+        if v.uid in self._names:
+            return self._names[v.uid]
+        base = v.name_hint
+        if base and base not in self._used:
+            name = base
+        else:
+            name = str(self._counter)
+            self._counter += 1
+        self._used.add(name)
+        self._names[v.uid] = name
+        return name
+
+    def ref(self, v: Value) -> str:
+        return "%" + self.name(v)
+
+
+def print_module(module: Module) -> str:
+    out = io.StringIO()
+    out.write(f"module @{module.name} {{\n")
+    for fn in module.functions.values():
+        _print_function(fn, out, indent=1)
+    out.write("}\n")
+    return out.getvalue()
+
+
+def print_function(fn: Function) -> str:
+    out = io.StringIO()
+    _print_function(fn, out, indent=0)
+    return out.getvalue()
+
+
+def _print_function(fn: Function, out: io.StringIO, indent: int) -> None:
+    namer = _Namer()
+    pad = "  " * indent
+    args = ", ".join(f"{namer.ref(a)}: {a.type}" for a in fn.args)
+    results = ", ".join(str(t) for t in fn.type.results)
+    attrs = _fmt_attrs(fn.attrs)
+    head = f"{pad}func @{fn.name}({args})"
+    if results:
+        head += f" -> ({results})"
+    if attrs:
+        head += f" attributes {attrs}"
+    out.write(head + " {\n")
+    _print_block_ops(fn.body, out, indent + 1, namer)
+    out.write(pad + "}\n")
+
+
+def _print_block_ops(block: Block, out: io.StringIO, indent: int, namer: _Namer) -> None:
+    for op in block.ops:
+        _print_op(op, out, indent, namer)
+
+
+def _print_op(op: Operation, out: io.StringIO, indent: int, namer: _Namer) -> None:
+    pad = "  " * indent
+    lhs = ""
+    if op.results:
+        lhs = ", ".join(namer.ref(r) for r in op.results) + " = "
+
+    if isinstance(op, scf.ForOp):
+        iters = ""
+        if op.iter_args:
+            pairs = ", ".join(
+                f"{namer.ref(ba)} = {namer.ref(init)}"
+                for ba, init in zip(op.body_iter_args, op.iter_args)
+            )
+            iters = f" iter_args({pairs})"
+        out.write(
+            f"{pad}{lhs}scf.for {namer.ref(op.induction_var)} = "
+            f"{namer.ref(op.lb)} to {namer.ref(op.ub)} "
+            f"step {namer.ref(op.step)}{iters} {{\n"
+        )
+        _print_block_ops(op.body, out, indent + 1, namer)
+        out.write(pad + "}\n")
+        return
+
+    if isinstance(op, scf.ParallelOp):
+        out.write(
+            f"{pad}scf.parallel {namer.ref(op.induction_var)} = "
+            f"{namer.ref(op.lb)} to {namer.ref(op.ub)} step {namer.ref(op.step)} "
+            f"threads({op.num_threads}) {{\n"
+        )
+        _print_block_ops(op.body, out, indent + 1, namer)
+        out.write(pad + "}\n")
+        return
+
+    if isinstance(op, scf.IfOp):
+        out.write(f"{pad}{lhs}scf.if {namer.ref(op.cond)} {{\n")
+        _print_block_ops(op.then_block, out, indent + 1, namer)
+        if op.else_block.ops:
+            out.write(pad + "} else {\n")
+            _print_block_ops(op.else_block, out, indent + 1, namer)
+        out.write(pad + "}\n")
+        return
+
+    if isinstance(op, scf.WhileOp):
+        inits = ", ".join(namer.ref(v) for v in op.init_args)
+        out.write(f"{pad}{lhs}scf.while ({inits}) {{\n")
+        _print_block_ops(op.before, out, indent + 1, namer)
+        out.write(pad + "} do {\n")
+        _print_block_ops(op.after, out, indent + 1, namer)
+        out.write(pad + "}\n")
+        return
+
+    # generic form: opname(%operands) {attrs} : result types
+    operands = ", ".join(namer.ref(v) for v in op.operands)
+    attrs = _fmt_attrs(op.attrs)
+    line = f"{pad}{lhs}{op.opname}({operands})"
+    if attrs:
+        line += f" {attrs}"
+    if op.results:
+        line += " : " + ", ".join(str(r.type) for r in op.results)
+    out.write(line + "\n")
+    for region in op.regions:
+        for block in region.blocks:
+            out.write(pad + "{\n")
+            _print_block_ops(block, out, indent + 1, namer)
+            out.write(pad + "}\n")
+
+
+def _fmt_attrs(attrs: dict) -> str:
+    shown = {
+        k: v for k, v in attrs.items() if not (v is None or v is False or v == "")
+    }
+    if not shown:
+        return ""
+    inner = ", ".join(f"{k} = {v!r}" for k, v in sorted(shown.items()))
+    return "{" + inner + "}"

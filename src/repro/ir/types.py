@@ -1,0 +1,154 @@
+"""IR type system.
+
+Types are immutable and compared structurally.  ``StructType`` carries the
+field layout the selective-transmission analysis needs (which byte ranges
+of an element a scope actually touches, section 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IRError
+
+
+class IRType:
+    """Base class; all concrete types are frozen dataclasses."""
+
+    @property
+    def byte_size(self) -> int:
+        raise IRError(f"{self!r} has no byte size")
+
+
+@dataclass(frozen=True)
+class IndexType(IRType):
+    """Loop-index / address arithmetic type (8 bytes)."""
+
+    @property
+    def byte_size(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return "index"
+
+
+@dataclass(frozen=True)
+class IntType(IRType):
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        if self.width not in (1, 8, 16, 32, 64):
+            raise IRError(f"unsupported integer width {self.width}")
+
+    @property
+    def byte_size(self) -> int:
+        return max(1, self.width // 8)
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+
+@dataclass(frozen=True)
+class FloatType(IRType):
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        if self.width not in (32, 64):
+            raise IRError(f"unsupported float width {self.width}")
+
+    @property
+    def byte_size(self) -> int:
+        return self.width // 8
+
+    def __str__(self) -> str:
+        return f"f{self.width}"
+
+
+#: i1, used by comparisons and scf.if / scf.while conditions
+BoolType = IntType(1)
+
+
+@dataclass(frozen=True)
+class StructType(IRType):
+    """A named record with fixed field layout (packed, no padding)."""
+
+    name: str
+    fields: tuple[tuple[str, IRType], ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for fname, _ in self.fields:
+            if fname in seen:
+                raise IRError(f"duplicate field {fname!r} in struct {self.name}")
+            seen.add(fname)
+
+    @property
+    def byte_size(self) -> int:
+        return sum(t.byte_size for _, t in self.fields)
+
+    def field_type(self, fname: str) -> IRType:
+        for name, t in self.fields:
+            if name == fname:
+                return t
+        raise IRError(f"struct {self.name} has no field {fname!r}")
+
+    def field_offset(self, fname: str) -> int:
+        off = 0
+        for name, t in self.fields:
+            if name == fname:
+                return off
+            off += t.byte_size
+        raise IRError(f"struct {self.name} has no field {fname!r}")
+
+    def field_names(self) -> list[str]:
+        return [name for name, _ in self.fields]
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{n}: {t}" for n, t in self.fields)
+        return f"!{self.name}<{inner}>"
+
+
+@dataclass(frozen=True)
+class MemRefType(IRType):
+    """A reference to a linear buffer of elements.
+
+    ``remote=True`` marks the *remotable* variant produced by the
+    convert-to-remote pass (the paper's ``remotable`` dialect objects).
+    """
+
+    elem: IRType
+    remote: bool = False
+
+    @property
+    def elem_size(self) -> int:
+        return self.elem.byte_size
+
+    @property
+    def byte_size(self) -> int:
+        return 8  # the reference itself
+
+    def as_remote(self) -> "MemRefType":
+        return MemRefType(self.elem, remote=True)
+
+    def __str__(self) -> str:
+        prefix = "rmemref" if self.remote else "memref"
+        return f"{prefix}<{self.elem}>"
+
+
+@dataclass(frozen=True)
+class FuncType(IRType):
+    inputs: tuple[IRType, ...] = field(default=())
+    results: tuple[IRType, ...] = field(default=())
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(t) for t in self.inputs)
+        outs = ", ".join(str(t) for t in self.results)
+        return f"({ins}) -> ({outs})"
+
+
+#: convenience singletons
+INDEX = IndexType()
+I64 = IntType(64)
+I32 = IntType(32)
+F64 = FloatType(64)
+F32 = FloatType(32)

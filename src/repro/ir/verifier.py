@@ -1,0 +1,126 @@
+"""IR structural and SSA verification.
+
+``verify`` raises :class:`VerificationError` with a precise message on the
+first violation.  The analyses and passes assume verified IR, matching the
+paper's soundness stance (section 5.2: "our analysis is sound, as we trade
+completeness for correctness").
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerificationError
+from repro.ir.core import Block, Function, Module, Operation, Value
+from repro.ir.dialects import func as func_d
+from repro.ir.dialects import scf
+
+
+def verify(module: Module) -> None:
+    for fn in module.functions.values():
+        _verify_function(module, fn)
+
+
+def _verify_function(module: Module, fn: Function) -> None:
+    term = fn.body.terminator
+    if term is None or not isinstance(term, func_d.ReturnOp):
+        raise VerificationError(f"@{fn.name}: body must end with func.return")
+    ret_types = tuple(v.type for v in term.operands)
+    if ret_types != fn.type.results:
+        raise VerificationError(
+            f"@{fn.name}: returns {ret_types}, declared {fn.type.results}"
+        )
+    visible: set[int] = {a.uid for a in fn.args}
+    _verify_block(module, fn, fn.body, visible)
+
+
+def _verify_block(
+    module: Module, fn: Function, block: Block, visible: set[int]
+) -> None:
+    for pos, op in enumerate(block.ops):
+        for v in op.operands:
+            if v.uid not in visible:
+                raise VerificationError(
+                    f"@{fn.name}: {op.opname} uses {v!r} before its definition"
+                )
+        if op.is_terminator and pos != len(block.ops) - 1:
+            raise VerificationError(
+                f"@{fn.name}: terminator {op.opname} not at end of block"
+            )
+        _verify_op(module, fn, op)
+        for region in op.regions:
+            for inner in region.blocks:
+                inner_visible = visible | {a.uid for a in inner.args}
+                _verify_block(module, fn, inner, inner_visible)
+        for r in op.results:
+            visible.add(r.uid)
+
+
+def _verify_op(module: Module, fn: Function, op: Operation) -> None:
+    if isinstance(op, scf.ForOp):
+        term = op.body.terminator
+        if term is None or not isinstance(term, scf.YieldOp):
+            raise VerificationError(f"@{fn.name}: scf.for body must end with scf.yield")
+        got = tuple(v.type for v in term.operands)
+        want = tuple(v.type for v in op.iter_args)
+        if got != want:
+            raise VerificationError(
+                f"@{fn.name}: scf.for yields {got}, iter_args are {want}"
+            )
+    elif isinstance(op, scf.IfOp):
+        want = tuple(r.type for r in op.results)
+        for arm_name, arm in (("then", op.then_block), ("else", op.else_block)):
+            term = arm.terminator
+            if want and (term is None or not isinstance(term, scf.YieldOp)):
+                raise VerificationError(
+                    f"@{fn.name}: scf.if {arm_name} arm must yield {want}"
+                )
+            if term is not None:
+                got = tuple(v.type for v in term.operands)
+                if got != want:
+                    raise VerificationError(
+                        f"@{fn.name}: scf.if {arm_name} arm yields {got}, "
+                        f"results are {want}"
+                    )
+    elif isinstance(op, scf.WhileOp):
+        before_term = op.before.terminator
+        if before_term is None or not isinstance(before_term, scf.ConditionOp):
+            raise VerificationError(
+                f"@{fn.name}: scf.while 'before' must end with scf.condition"
+            )
+        fwd = tuple(v.type for v in before_term.forwarded)
+        want = tuple(v.type for v in op.init_args)
+        if fwd != want:
+            raise VerificationError(
+                f"@{fn.name}: scf.while forwards {fwd}, carried types are {want}"
+            )
+        after_term = op.after.terminator
+        if after_term is None or not isinstance(after_term, scf.YieldOp):
+            raise VerificationError(
+                f"@{fn.name}: scf.while body must end with scf.yield"
+            )
+        got = tuple(v.type for v in after_term.operands)
+        if got != want:
+            raise VerificationError(
+                f"@{fn.name}: scf.while body yields {got}, carried types are {want}"
+            )
+    elif isinstance(op, scf.ParallelOp):
+        term = op.body.terminator
+        if term is None or not isinstance(term, scf.YieldOp) or term.operands:
+            raise VerificationError(
+                f"@{fn.name}: scf.parallel body must end with empty scf.yield"
+            )
+    elif isinstance(op, func_d.CallOp):
+        callee = module.functions.get(op.callee)
+        if callee is None:
+            raise VerificationError(f"@{fn.name}: call to unknown @{op.callee}")
+        got = tuple(v.type for v in op.operands)
+        if got != callee.type.inputs:
+            raise VerificationError(
+                f"@{fn.name}: call @{op.callee} with {got}, "
+                f"expects {callee.type.inputs}"
+            )
+        res = tuple(r.type for r in op.results)
+        if res != callee.type.results:
+            raise VerificationError(
+                f"@{fn.name}: call @{op.callee} binds {res}, "
+                f"returns {callee.type.results}"
+            )

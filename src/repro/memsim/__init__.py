@@ -1,0 +1,25 @@
+"""Far-memory machine simulator.
+
+This package models the hardware substrate the paper runs on -- a compute
+node with local DRAM, a far-memory node reachable over an RDMA-class
+network -- under a *virtual clock*.  Nothing here knows about Mira itself;
+the cache layer, baselines and runtime all sit on top of these primitives.
+"""
+
+from repro.memsim.address import AddressSpace, ObjectInfo, PAGE_SIZE
+from repro.memsim.clock import VirtualClock
+from repro.memsim.cost_model import CostModel
+from repro.memsim.farnode import FarMemoryNode
+from repro.memsim.network import Network, NetworkStats, TransferKind
+
+__all__ = [
+    "AddressSpace",
+    "ObjectInfo",
+    "PAGE_SIZE",
+    "VirtualClock",
+    "CostModel",
+    "FarMemoryNode",
+    "Network",
+    "NetworkStats",
+    "TransferKind",
+]

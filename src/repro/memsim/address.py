@@ -1,0 +1,121 @@
+"""Object identities and the shared virtual address space.
+
+Every allocation in a simulated program becomes an :class:`ObjectInfo` with
+a stable object id and a page-aligned virtual base address.  Object-granular
+systems (Mira cache sections, AIFM) key their state by object id; the
+page-granular swap baselines (FastSwap, Leap) see flat virtual addresses.
+Both views are derived from one :class:`AddressSpace`, so every system
+observes the *same* access stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryError_
+
+#: OS page size used by the swap-based systems (paper section 5.3).
+PAGE_SIZE = 4096
+
+
+@dataclass
+class ObjectInfo:
+    """One allocated far-memory-capable object."""
+
+    obj_id: int
+    size: int
+    elem_size: int
+    base_va: int
+    name: str = ""
+    alloc_site: str = ""
+    freed: bool = False
+    #: arbitrary per-object annotations (e.g. struct field layout)
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def num_elems(self) -> int:
+        return self.size // self.elem_size if self.elem_size else 0
+
+    @property
+    def end_va(self) -> int:
+        return self.base_va + self.size
+
+    def va_of(self, byte_offset: int) -> int:
+        """Virtual address of a byte offset inside this object."""
+        if not 0 <= byte_offset < max(self.size, 1):
+            raise MemoryError_(
+                f"offset {byte_offset} out of bounds for object "
+                f"{self.name or self.obj_id} of size {self.size}"
+            )
+        return self.base_va + byte_offset
+
+
+class AddressSpace:
+    """Allocates object ids and page-aligned virtual address ranges."""
+
+    def __init__(self, base: int = 0x1000_0000) -> None:
+        self._next_id = 1
+        self._next_va = base
+        self._objects: dict[int, ObjectInfo] = {}
+
+    def allocate(
+        self,
+        size: int,
+        elem_size: int = 8,
+        name: str = "",
+        alloc_site: str = "",
+        attrs: dict | None = None,
+    ) -> ObjectInfo:
+        """Create a new object covering ``size`` bytes."""
+        if size <= 0:
+            raise MemoryError_(f"allocation size must be positive, got {size}")
+        if elem_size <= 0:
+            raise MemoryError_(f"element size must be positive, got {elem_size}")
+        obj = ObjectInfo(
+            obj_id=self._next_id,
+            size=size,
+            elem_size=elem_size,
+            base_va=self._next_va,
+            name=name,
+            alloc_site=alloc_site,
+            attrs=attrs or {},
+        )
+        self._objects[obj.obj_id] = obj
+        self._next_id += 1
+        # keep objects page-aligned and non-adjacent (guard page) so that a
+        # page never spans two objects -- matches how real allocators place
+        # large objects and keeps swap accounting simple
+        pages = (size + PAGE_SIZE - 1) // PAGE_SIZE + 1
+        self._next_va += pages * PAGE_SIZE
+        return obj
+
+    def free(self, obj_id: int) -> None:
+        obj = self.get(obj_id)
+        if obj.freed:
+            raise MemoryError_(f"double free of object {obj_id}")
+        obj.freed = True
+
+    def get(self, obj_id: int) -> ObjectInfo:
+        try:
+            return self._objects[obj_id]
+        except KeyError:
+            raise MemoryError_(f"unknown object id {obj_id}") from None
+
+    def objects(self) -> list[ObjectInfo]:
+        """All allocated objects, in allocation order."""
+        return list(self._objects.values())
+
+    def live_objects(self) -> list[ObjectInfo]:
+        return [o for o in self._objects.values() if not o.freed]
+
+    def total_live_bytes(self) -> int:
+        return sum(o.size for o in self.live_objects())
+
+    def find_by_name(self, name: str) -> ObjectInfo:
+        for obj in self._objects.values():
+            if obj.name == name:
+                return obj
+        raise MemoryError_(f"no object named {name!r}")
+
+    def page_of(self, va: int) -> int:
+        return va // PAGE_SIZE

@@ -1,0 +1,78 @@
+"""Virtual time.
+
+Every performance-relevant event in the simulation advances a
+:class:`VirtualClock` by some number of virtual nanoseconds taken from the
+cost model.  Real (wall-clock) time plays no role in any reported result.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MiraError
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual-nanosecond counter.
+
+    The clock also keeps a breakdown of where time went (by category
+    string), which the profiler and the figure harnesses read.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._breakdown: dict[str, float] = {}
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    def advance(self, ns: float, category: str = "other") -> float:
+        """Advance the clock by ``ns`` nanoseconds; returns the new time.
+
+        ``category`` labels the time for the breakdown (e.g. ``"compute"``,
+        ``"dram"``, ``"miss"``, ``"hit_overhead"``, ``"eviction"``).
+        """
+        if ns < 0:
+            raise MiraError(f"cannot advance clock by negative time {ns}")
+        self._now += ns
+        self._breakdown[category] = self._breakdown.get(category, 0.0) + ns
+        return self._now
+
+    def wait_until(self, t: float, category: str = "wait") -> float:
+        """Advance to time ``t`` if it is in the future; no-op otherwise."""
+        if t > self._now:
+            self.advance(t - self._now, category)
+        return self._now
+
+    def breakdown(self) -> dict[str, float]:
+        """A copy of the per-category time breakdown."""
+        return dict(self._breakdown)
+
+    def category(self, name: str) -> float:
+        """Time accumulated under one category."""
+        return self._breakdown.get(name, 0.0)
+
+    def reset(self) -> None:
+        self._now = 0.0
+        self._breakdown.clear()
+
+    def fork(self) -> "VirtualClock":
+        """A new clock starting at this clock's current time.
+
+        Used by the thread simulator: each virtual thread runs on a fork of
+        the spawning clock and the parent later joins to the max.
+        """
+        child = VirtualClock()
+        child._now = self._now
+        return child
+
+    def join(self, other: "VirtualClock") -> None:
+        """Merge a forked clock back: jump to its time if later, and fold
+        its breakdown into ours."""
+        for cat, ns in other._breakdown.items():
+            self._breakdown[cat] = self._breakdown.get(cat, 0.0) + ns
+        if other._now > self._now:
+            self._now = other._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.1f}ns)"

@@ -1,0 +1,136 @@
+"""Simulated RDMA-class network between the compute and far-memory nodes.
+
+Supports the paper's two communication methods (section 4.7):
+
+* **one-sided** -- the compute node reads/writes far memory directly with
+  zero copy; cost = RTT + wire time.
+* **two-sided** -- data travels as a message that the far node's CPU must
+  receive and copy; cost adds per-message CPU time and per-byte copy time,
+  but only the *requested* bytes travel, which is what makes two-sided the
+  right choice for partial-structure (selective) transmission.
+
+The network also supports asynchronous operations for prefetching: an async
+fetch issued at time ``t`` completes at ``t + latency``; a consumer that
+arrives early waits only for the remainder.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.memsim.clock import VirtualClock
+from repro.memsim.cost_model import CostModel
+
+
+class TransferKind(enum.Enum):
+    """Which verb a transfer used."""
+
+    ONE_SIDED_READ = "1s-read"
+    ONE_SIDED_WRITE = "1s-write"
+    TWO_SIDED = "2s-msg"
+    RPC = "rpc"
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters, per transfer kind."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    messages: int = 0
+    by_kind: dict[TransferKind, int] = field(default_factory=dict)
+
+    def record(self, kind: TransferKind, nbytes: int, is_write: bool) -> None:
+        self.messages += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + nbytes
+        if is_write:
+            self.bytes_written += nbytes
+        else:
+            self.bytes_read += nbytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+class Network:
+    """Point-to-point link between the local node and far memory."""
+
+    def __init__(self, cost: CostModel, clock: VirtualClock) -> None:
+        self.cost = cost
+        self.clock = clock
+        self.stats = NetworkStats()
+        #: virtual time at which the link is next free; models bandwidth
+        #: contention between overlapping async transfers
+        self._link_free_at: float = 0.0
+        #: active threads sharing the link (set by the thread simulator);
+        #: each sees 1/contention of the bandwidth
+        self.contention: int = 1
+
+    # -- synchronous ops ---------------------------------------------------
+
+    def read(self, nbytes: int, one_sided: bool = True) -> float:
+        """Synchronously fetch ``nbytes``; advances the clock; returns cost."""
+        ns = self._latency(nbytes, one_sided)
+        kind = TransferKind.ONE_SIDED_READ if one_sided else TransferKind.TWO_SIDED
+        self.stats.record(kind, nbytes, is_write=False)
+        self.clock.advance(ns, "net_read")
+        return ns
+
+    def write(self, nbytes: int, one_sided: bool = True) -> float:
+        """Synchronously write ``nbytes`` to far memory."""
+        ns = self._latency(nbytes, one_sided)
+        kind = TransferKind.ONE_SIDED_WRITE if one_sided else TransferKind.TWO_SIDED
+        self.stats.record(kind, nbytes, is_write=True)
+        self.clock.advance(ns, "net_write")
+        return ns
+
+    def write_async(self, nbytes: int, one_sided: bool = True) -> float:
+        """Issue a write that completes in the background (eviction
+        write-back, flush hints).  Charges only issue cost now; returns the
+        completion time."""
+        kind = TransferKind.ONE_SIDED_WRITE if one_sided else TransferKind.TWO_SIDED
+        self.stats.record(kind, nbytes, is_write=True)
+        ready = self._schedule(nbytes, one_sided)
+        self.clock.advance(self.cost.cpu_op_ns, "net_issue")
+        return ready
+
+    def read_async(self, nbytes: int, one_sided: bool = True) -> float:
+        """Issue a prefetch; returns the virtual time it will be ready."""
+        kind = TransferKind.ONE_SIDED_READ if one_sided else TransferKind.TWO_SIDED
+        self.stats.record(kind, nbytes, is_write=False)
+        ready = self._schedule(nbytes, one_sided)
+        self.clock.advance(self.cost.cpu_op_ns, "net_issue")
+        return ready
+
+    def rpc(self, request_bytes: int, response_bytes: int) -> float:
+        """A two-sided RPC round trip (function offloading)."""
+        ns = (
+            self.cost.rpc_ns
+            + self.cost.transfer_ns(request_bytes + response_bytes)
+            + self.cost.two_sided_msg_ns
+        )
+        self.stats.record(TransferKind.RPC, request_bytes + response_bytes, False)
+        self.clock.advance(ns, "rpc")
+        return ns
+
+    # -- internals ---------------------------------------------------------
+
+    def _latency(self, nbytes: int, one_sided: bool) -> float:
+        wire_scale = max(1, self.contention)
+        extra = self.cost.transfer_ns(nbytes) * (wire_scale - 1)
+        if one_sided:
+            return self.cost.one_sided_ns(nbytes) + extra
+        return self.cost.two_sided_ns(nbytes) + extra
+
+    def _schedule(self, nbytes: int, one_sided: bool) -> float:
+        """Book wire time on the link starting no earlier than now; returns
+        the completion time of the async transfer."""
+        start = max(self.clock.now, self._link_free_at)
+        wire = self.cost.transfer_ns(nbytes) * max(1, self.contention)
+        self._link_free_at = start + wire
+        base = self.cost.net_rtt_ns
+        if not one_sided:
+            base += self.cost.two_sided_msg_ns + nbytes / self.cost.two_sided_copy_bpns
+        return start + base + wire

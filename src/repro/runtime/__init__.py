@@ -1,0 +1,21 @@
+"""IR execution against the simulated machine.
+
+The interpreter computes *real results* on a Python-level object store
+while charging virtual time for compute (per-op), local DRAM (per access),
+and whatever the active :class:`~repro.cache.interface.MemorySystem`'s
+data path costs.  A coarse-grained profiler (paper section 4.1) attributes
+time and cache overhead to functions.
+"""
+
+from repro.runtime.interpreter import Interpreter, RunResult
+from repro.runtime.objects import MemRefVal, ObjectStore
+from repro.runtime.profiler import FunctionProfile, Profiler
+
+__all__ = [
+    "Interpreter",
+    "RunResult",
+    "MemRefVal",
+    "ObjectStore",
+    "FunctionProfile",
+    "Profiler",
+]

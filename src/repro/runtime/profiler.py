@@ -1,0 +1,134 @@
+"""Coarse-grained run-time profiling (paper section 4.1).
+
+Collects, per function: call count, inclusive/exclusive virtual time, and
+the share of that time spent in the far-memory runtime (cache lookups,
+misses, evictions, network) -- the paper's *cache performance overhead*:
+
+    overhead_ratio = time in Mira runtime / remaining execution time
+
+It also records allocation sites and sizes (the controller picks the
+largest objects of the worst functions, section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memsim.clock import VirtualClock
+
+#: clock-breakdown categories that represent useful program execution
+#: rather than far-memory runtime work
+_EXEC_CATEGORIES = frozenset({"compute", "dram", "dram_stream", "profiling"})
+
+
+def runtime_ns(breakdown: dict[str, float]) -> float:
+    """Time spent in the far-memory runtime, from a clock breakdown."""
+    return sum(ns for cat, ns in breakdown.items() if cat not in _EXEC_CATEGORIES)
+
+
+@dataclass
+class FunctionProfile:
+    name: str
+    calls: int = 0
+    inclusive_ns: float = 0.0
+    exclusive_ns: float = 0.0
+    inclusive_runtime_ns: float = 0.0
+    exclusive_runtime_ns: float = 0.0
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Cache performance overhead: runtime time over remaining time."""
+        exec_ns = self.exclusive_ns - self.exclusive_runtime_ns
+        if exec_ns <= 0:
+            return float("inf") if self.exclusive_runtime_ns > 0 else 0.0
+        return self.exclusive_runtime_ns / exec_ns
+
+
+@dataclass
+class AllocationRecord:
+    site: str
+    name: str
+    size_bytes: int
+    function: str
+
+
+@dataclass
+class _Frame:
+    name: str
+    t_enter: float
+    runtime_enter: float
+    child_ns: float = 0.0
+    child_runtime_ns: float = 0.0
+
+
+@dataclass
+class Profiler:
+    """Attributes virtual time to functions via an explicit frame stack."""
+
+    clock: VirtualClock
+    functions: dict[str, FunctionProfile] = field(default_factory=dict)
+    allocations: list[AllocationRecord] = field(default_factory=list)
+    regions: dict[str, float] = field(default_factory=dict)
+    _stack: list[_Frame] = field(default_factory=list)
+    _region_starts: dict[str, float] = field(default_factory=dict)
+
+    def _runtime_now(self) -> float:
+        return runtime_ns(self.clock._breakdown)
+
+    def enter(self, name: str) -> None:
+        self._stack.append(_Frame(name, self.clock.now, self._runtime_now()))
+
+    def exit(self, name: str) -> None:
+        frame = self._stack.pop()
+        inclusive = self.clock.now - frame.t_enter
+        inclusive_rt = self._runtime_now() - frame.runtime_enter
+        prof = self.functions.setdefault(name, FunctionProfile(name))
+        prof.calls += 1
+        prof.inclusive_ns += inclusive
+        prof.exclusive_ns += inclusive - frame.child_ns
+        prof.inclusive_runtime_ns += inclusive_rt
+        prof.exclusive_runtime_ns += inclusive_rt - frame.child_runtime_ns
+        if self._stack:
+            parent = self._stack[-1]
+            parent.child_ns += inclusive
+            parent.child_runtime_ns += inclusive_rt
+
+    def record_allocation(self, site: str, name: str, size: int, function: str) -> None:
+        self.allocations.append(AllocationRecord(site, name, size, function))
+
+    def region_begin(self, label: str) -> None:
+        self._region_starts[label] = self.clock.now
+
+    def region_end(self, label: str) -> None:
+        start = self._region_starts.pop(label, None)
+        if start is not None:
+            self.regions[label] = self.regions.get(label, 0.0) + (
+                self.clock.now - start
+            )
+
+    # -- controller queries (section 4.1) -------------------------------------
+
+    def worst_functions(self, fraction: float) -> list[str]:
+        """Function names in the top ``fraction`` by cache overhead ratio
+        (at least one when any function has overhead)."""
+        ranked = sorted(
+            self.functions.values(), key=lambda p: p.overhead_ratio, reverse=True
+        )
+        ranked = [p for p in ranked if p.exclusive_runtime_ns > 0]
+        if not ranked:
+            return []
+        count = max(1, int(len(ranked) * fraction))
+        return [p.name for p in ranked[:count]]
+
+    def largest_allocations(self, fraction: float, functions=None) -> list[str]:
+        """Allocation *names* of the largest ``fraction`` of objects,
+        optionally restricted to sites inside the given functions."""
+        pool = self.allocations
+        if functions is not None:
+            fset = set(functions)
+            pool = [a for a in pool if a.function in fset]
+        if not pool:
+            return []
+        ranked = sorted(pool, key=lambda a: a.size_bytes, reverse=True)
+        count = max(1, int(len(ranked) * fraction))
+        return [a.name or a.site for a in ranked[:count]]

@@ -1,0 +1,39 @@
+"""Compiler passes (paper sections 4.4, 4.5, 4.8, 5.2).
+
+Pass order in the full pipeline (:mod:`repro.core.pipeline`):
+
+1. ``convert_to_remote`` -- selected allocations become ``remotable``,
+   their accesses become ``rmem`` ops;
+2. ``batching`` -- fuse adjacent compatible loops;
+3. ``prefetch`` -- insert pattern-directed (and chained indirect)
+   prefetches at the network-delay-derived distance;
+4. ``eviction_hints`` -- trailing hints in streaming loops, whole-object
+   hints after last accesses;
+5. ``readwrite_opt`` -- discard after read-only scopes, no-fetch flags for
+   write-only scopes;
+6. ``native_load`` -- dereference elision for proven-resident accesses;
+7. ``offload`` -- mark profitable remotable functions offloaded;
+8. ``instrument_profiling`` -- coarse-grained profiling for the next
+   iteration.
+"""
+
+from repro.transforms.batching import combine_prefetches, fuse_adjacent_loops
+from repro.transforms.convert_to_remote import convert_to_remote
+from repro.transforms.eviction_hints import insert_eviction_hints
+from repro.transforms.instrument import instrument_profiling
+from repro.transforms.native_load import elide_dereferences
+from repro.transforms.offload import apply_offload
+from repro.transforms.prefetch import insert_prefetches
+from repro.transforms.readwrite_opt import apply_readwrite_optimization
+
+__all__ = [
+    "convert_to_remote",
+    "fuse_adjacent_loops",
+    "combine_prefetches",
+    "insert_prefetches",
+    "insert_eviction_hints",
+    "apply_readwrite_optimization",
+    "elide_dereferences",
+    "apply_offload",
+    "instrument_profiling",
+]

@@ -1,0 +1,126 @@
+"""Data-access batching (paper section 4.5).
+
+Two cooperating rewrites:
+
+* :func:`fuse_adjacent_loops` -- when two adjacent loops have identical
+  bounds and no memory dependence (e.g. DataFrame's avg/min/max loops over
+  the same vector), fuse them so their data is traversed once;
+* :func:`combine_prefetches` -- merge the prefetch ops in one loop body
+  into a single ``rmem.batch_prefetch``, which the runtime issues as one
+  scatter-gather network message (one RTT for N ranges).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.dependence import adjacent_fusable_pairs
+from repro.ir.cloning import _clone_op
+from repro.ir.core import Block, Module, Value
+from repro.ir.dialects import rmem, scf
+
+
+class _SelfMap(dict):
+    """Value map that defaults to identity (values defined outside the
+    cloned region map to themselves)."""
+
+    def __missing__(self, key):
+        return key
+
+
+def fuse_adjacent_loops(module: Module) -> int:
+    """Fuse all adjacent fusable top-level loop pairs; returns count."""
+    fused = 0
+    for fn in module.functions.values():
+        while True:
+            alias = AliasAnalysis(module)
+            pairs = adjacent_fusable_pairs(fn, alias)
+            if not pairs:
+                break
+            a, b = pairs[0]
+            _fuse(fn, a, b)
+            fused += 1
+    return fused
+
+
+def _fuse(fn, a: scf.ForOp, b: scf.ForOp) -> None:
+    # the fused loop takes b's position: any pure ops between a and b
+    # (which b's iter_args may use) stay defined before it
+    block = fn.body
+    pos = block.ops.index(b)
+    new = scf.ForOp(a.lb, a.ub, a.step, list(a.iter_args) + list(b.iter_args))
+    vmap = _SelfMap()
+    vmap[a.induction_var] = new.induction_var
+    for old, fresh in zip(a.body_iter_args, new.body_iter_args[: len(a.iter_args)]):
+        vmap[old] = fresh
+    a_yield = _clone_body(a.body, new.body, vmap)
+    vmap[b.induction_var] = new.induction_var
+    for old, fresh in zip(b.body_iter_args, new.body_iter_args[len(a.iter_args):]):
+        vmap[old] = fresh
+    b_yield = _clone_body(b.body, new.body, vmap)
+    new.body.ops.append(scf.YieldOp(a_yield + b_yield))
+    new.body.ops[-1].parent_block = new.body
+    # rewire result uses
+    result_map: dict[Value, Value] = {}
+    for i, res in enumerate(a.results):
+        result_map[res] = new.results[i]
+    for j, res in enumerate(b.results):
+        result_map[res] = new.results[len(a.results) + j]
+    for op in fn.walk():
+        for old, fresh in result_map.items():
+            op.replace_uses_of(old, fresh)
+    block.remove(b)
+    block.ops.insert(pos, new)
+    new.parent_block = block
+    block.remove(a)
+
+
+def _clone_body(src: Block, dst: Block, vmap: _SelfMap) -> list[Value]:
+    """Clone ``src``'s non-terminator ops into ``dst``; returns the mapped
+    yield operands."""
+    term = src.terminator
+    for op in src.ops:
+        if op is term:
+            continue
+        dst.ops.append(_clone_op(op, vmap, dst))
+    if term is None:
+        return []
+    return [vmap[v] for v in term.operands]
+
+
+def combine_prefetches(module: Module) -> int:
+    """Merge multiple prefetch ops per loop body into one batched message;
+    returns the number of batch ops created."""
+    created = 0
+    for fn in module.functions.values():
+        for op in fn.walk():
+            if isinstance(op, (scf.ForOp, scf.ParallelOp)):
+                created += _combine_in_block(op.body)
+    return created
+
+
+def _combine_in_block(block: Block) -> int:
+    """Merge maximal *adjacent* runs of prefetch ops.  Only adjacent runs
+    may merge: moving a prefetch away from its program point would change
+    when its data arrives relative to the accesses around it."""
+    created = 0
+    runs: list[list[rmem.PrefetchOp]] = []
+    current: list[rmem.PrefetchOp] = []
+    for op in block.ops:
+        if isinstance(op, rmem.PrefetchOp):
+            current.append(op)
+        else:
+            if len(current) >= 2:
+                runs.append(current)
+            current = []
+    if len(current) >= 2:
+        runs.append(current)
+    for run in runs:
+        pairs = [(p.ref, p.index) for p in run]
+        counts = [p.count for p in run]
+        batch = rmem.BatchPrefetchOp(pairs, counts)
+        idx = block.ops.index(run[0])
+        block.insert(idx, batch)
+        for p in run:
+            block.remove(p)
+        created += 1
+    return created

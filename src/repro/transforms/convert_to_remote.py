@@ -1,0 +1,96 @@
+"""Conversion to remote code (paper sections 4.4, 5.2.1).
+
+Selected allocation sites become ``remotable.alloc``; every pointer that
+may reference them (forward dataflow + alias analysis) is retyped to a
+remote memref; loads/stores/touches through those pointers become ``rmem``
+operations.  Functions whose memref parameters are all remote afterwards
+are marked ``remotable`` (offload candidates).
+
+Soundness rule: if a pointer may reference both a selected and an
+unselected site ("pointers to both local and remotable objects", section
+5.2.1 -- the paper handles these at runtime with the reserved section 0),
+we *widen* the selection to include the unselected sites, which is always
+safe because the swap section can back any remotable object.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.alias import AliasAnalysis, AllocSite
+from repro.ir.core import Module, Value
+from repro.ir.dialects import memref, remotable, rmem
+from repro.ir.types import MemRefType
+from repro.transforms.utils import retype_op
+
+
+def convert_to_remote(module: Module, site_names: list[str]) -> list[str]:
+    """Convert the named allocation sites (and any aliasing closure) to
+    remotable; returns the names actually converted."""
+    alias = AliasAnalysis(module)
+    selected: set[AllocSite] = {
+        s for s in alias.sites if s.name in set(site_names)
+    }
+    if not selected:
+        return []
+    # widen: any value aliasing a selected site pulls in its other sites
+    changed = True
+    while changed:
+        changed = False
+        for fn in module.functions.values():
+            for value in _memref_values(fn):
+                sites = alias.points_to(value)
+                if sites & selected and not sites <= selected:
+                    selected |= sites
+                    changed = True
+    # retype allocation ops
+    for fn in module.functions.values():
+        for op in fn.walk():
+            if isinstance(op, memref.AllocOp):
+                site = alias.site_by_op.get(id(op))
+                if site in selected:
+                    retype_op(op, remotable.RAllocOp)
+    # retype every aliasing memref value
+    for fn in module.functions.values():
+        for value in _memref_values(fn):
+            if alias.points_to(value) & selected:
+                if not value.type.remote:
+                    value.type = value.type.as_remote()
+    # retype accesses through remote refs
+    swaps = {
+        memref.LoadOp: rmem.RLoadOp,
+        memref.StoreOp: rmem.RStoreOp,
+        memref.TouchOp: rmem.RTouchOp,
+    }
+    for fn in module.functions.values():
+        for op in fn.walk():
+            cls = swaps.get(type(op))
+            if cls is not None and op.ref.type.remote:
+                retype_op(op, cls, {"native": False})
+    _mark_remotable_functions(module)
+    return sorted(s.name or str(s.uid) for s in selected)
+
+
+def _memref_values(fn):
+    from repro.analysis.alias import _all_values
+
+    for v in _all_values(fn):
+        if isinstance(v.type, MemRefType):
+            yield v
+
+
+def _mark_remotable_functions(module: Module) -> None:
+    """Backward analysis (section 5.2.1): a function is remotable when all
+    of its memref parameters are remote.  Function signatures are also
+    refreshed, since parameter/return types may have been retyped."""
+    from repro.ir.types import FuncType
+
+    for fn in module.functions.values():
+        ret = fn.body.terminator
+        result_types = (
+            tuple(v.type for v in ret.operands) if ret is not None else ()
+        )
+        fn.type = FuncType(tuple(a.type for a in fn.args), result_types)
+        if fn.name == "main":
+            continue
+        memref_args = [a for a in fn.args if isinstance(a.type, MemRefType)]
+        if memref_args and all(a.type.remote for a in memref_args):
+            fn.attrs["remotable"] = True

@@ -1,0 +1,145 @@
+"""Eviction-hint insertion (paper section 4.5).
+
+Two cases:
+
+* **streaming scopes** -- a sequentially accessed object never revisits a
+  line, so each iteration marks the line *behind* the current index
+  evictable (the runtime also flushes it asynchronously, hiding write-back
+  off the critical path);
+* **last access in a function** -- after the top-level statement containing
+  an object's last access, the whole object is flushed and marked
+  evictable, freeing its space for later scopes (this is the "end a
+  section's lifetime promptly" behaviour that keeps GPT-2 flat, section
+  6.2).
+
+Shared writable sections ignore hints (section 4.6); the cache layer
+enforces that, so this pass does not need to know about sharing.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.access import AccessPattern, analyze_scope
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.lifetime import LifetimeAnalysis
+from repro.ir.core import Module
+from repro.ir.dialects import memref, rmem, scf
+from repro.transforms.utils import (
+    build_after,
+    build_before,
+    enclosing_loop,
+    top_level_position,
+)
+
+
+def insert_eviction_hints(module: Module) -> int:
+    alias = AliasAnalysis(module)
+    lifetime = LifetimeAnalysis(module, alias)
+    inserted = 0
+    for fn in module.functions.values():
+        loops = [
+            op for op in fn.walk() if isinstance(op, (scf.ForOp, scf.ParallelOp))
+        ]
+        # streaming hints inside loops
+        for loop in loops:
+            for site, summary in analyze_scope(loop, alias).items():
+                inserted += _hint_streaming_touches(loop, site, summary)
+                if summary.pattern is not AccessPattern.SEQUENTIAL:
+                    continue
+                rec = next(
+                    (
+                        r
+                        for r in summary.records
+                        if enclosing_loop(r.op) is loop
+                        and not isinstance(r.op, (memref.TouchOp, rmem.RTouchOp))
+                    ),
+                    None,
+                )
+                if rec is None or rec.op.attrs.get("prefetch_stage"):
+                    continue
+                ref = _ref_of(rec.op)
+                if not getattr(ref.type, "remote", False):
+                    continue
+                idx = _index_of(rec.op)
+                op = rec.op
+
+                def build(b, ref=ref, idx=idx):
+                    b.evict_hint(ref, idx, mode="trailing")
+
+                build_after(op.parent_block, op, build)
+                inserted += 1
+        # whole-object hints after the last access in the function
+        for site, interval in lifetime.intervals.get(fn.name, {}).items():
+            last = interval.last_op
+            ref = _ref_of(last)
+            if not getattr(ref.type, "remote", False):
+                continue
+            # the hint goes after the *top-level* statement so it runs
+            # once, not every loop iteration
+            try:
+                pos = top_level_position(fn.body, last)
+            except Exception:
+                continue
+            # the ref must be visible at function-body level
+            if not _visible_at_top_level(ref, fn):
+                continue
+
+            def build(b, ref=ref, site=site):
+                b.flush(ref, 0, count=site.num_elems)
+                b.evict_hint(ref, 0, count=site.num_elems, mode="exact")
+
+            build_after(fn.body, fn.body.ops[pos], build)
+            inserted += 1
+    return inserted
+
+
+def _hint_streaming_touches(loop, site, summary) -> int:
+    """Coarse range touches that advance by a fixed byte stride per
+    iteration (layer loops): after each touch, flush and mark the previous
+    iteration's range evictable -- the paper's prompt release of one
+    layer's matrices when the layer finishes (section 6.2)."""
+    from repro.analysis.scev import Affine
+
+    inserted = 0
+    for rec in summary.records:
+        op = rec.op
+        if not isinstance(op, rmem.RTouchOp):
+            continue
+        if enclosing_loop(op) is not loop:
+            continue
+        if not isinstance(rec.scev, Affine) or rec.scev.coeff <= 0:
+            continue
+        elem = site.elem_type.byte_size
+        count = max(1, op.length // elem)
+        stride = rec.scev.coeff
+
+        def build(b, op=op, elem=elem, count=count, stride=stride):
+            prev = b.div(b.sub(op.start, stride), elem)
+            b.flush(op.ref, prev, count=count)
+            b.evict_hint(op.ref, prev, count=count, mode="exact")
+
+        # the hint goes *before* the touch: by the time range i is
+        # accessed, range i-1 is dead -- and the prefetch of range i+1
+        # (inserted later, between hint and touch) then displaces the
+        # dead lines rather than live ones
+        build_before(op.parent_block, op, build)
+        inserted += 1
+    return inserted
+
+
+def _ref_of(op):
+    if isinstance(op, (memref.StoreOp, rmem.RStoreOp)):
+        return op.ref
+    return op.operands[0]
+
+
+def _index_of(op):
+    if isinstance(op, (memref.StoreOp, rmem.RStoreOp)):
+        return op.index
+    return op.operands[1]
+
+
+def _visible_at_top_level(ref, fn) -> bool:
+    if ref in fn.args:
+        return True
+    producer = ref.producer
+    return producer is not None and producer.parent_block is fn.body

@@ -1,0 +1,97 @@
+"""Dereference elision (paper section 4.4).
+
+A remote pointer dereference normally runs the cache lookup; but when the
+compiler can prove the addressed line is resident at dereference time, the
+access compiles to a native memory load.  The provable case implemented
+here is the paper's main one: sequential accesses in a loop that are
+
+* prefetched (the line was requested a round trip ago),
+* conflict-free (the object's section holds only conflict-free streaming
+  objects, which the planner guarantees by giving sequential patterns
+  their own directly-mapped sections).
+
+Elided accesses charge no lookup overhead, and the section keeps no
+metadata for lines whose lifetime the compiler fully controls -- the
+planner sets ``metadata_free`` from the ``elidable`` flag this pass puts
+on the allocation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.access import AccessPattern, analyze_scope
+from repro.analysis.alias import AliasAnalysis
+from repro.ir.core import Module
+from repro.ir.dialects import memref, remotable, rmem, scf
+from repro.transforms.utils import enclosing_loop
+
+
+def elide_dereferences(module: Module) -> list[str]:
+    """Mark provably-resident rmem accesses native; returns the names of
+    allocation sites whose lines need no metadata."""
+    alias = AliasAnalysis(module)
+    elidable_sites: list[str] = []
+    for fn in module.functions.values():
+        loops = [
+            op for op in fn.walk() if isinstance(op, (scf.ForOp, scf.ParallelOp))
+        ]
+        for loop in loops:
+            prefetched = set(loop.attrs.get("prefetched_sites", []))
+            for site, summary in analyze_scope(loop, alias).items():
+                if summary.pattern is not AccessPattern.SEQUENTIAL:
+                    continue
+                if site.name not in prefetched:
+                    continue
+                for rec in summary.records:
+                    if enclosing_loop(rec.op) is not loop:
+                        continue
+                    if isinstance(rec.op, (rmem.RLoadOp, rmem.RStoreOp)):
+                        rec.op.attrs["native"] = True
+                if site.name not in elidable_sites:
+                    elidable_sites.append(site.name)
+                    _mark_alloc(module, site)
+            # compiler-inserted stage-1 loads read a prefetched stream at
+            # a fixed offset ahead: provably resident as well
+            for op in loop.body.ops:
+                if (
+                    isinstance(op, rmem.RLoadOp)
+                    and op.attrs.get("prefetch_stage")
+                    and any(s.name in prefetched for s in alias.points_to(op.ref))
+                ):
+                    op.attrs["native"] = True
+            _elide_same_element(loop)
+    return elidable_sites
+
+
+#: max rmem ops between two derefs of the same element for the re-deref
+#: to be provably conflict-free (cannot fill a K-way set in between)
+_SAME_ELEMENT_WINDOW = 12
+
+
+def _elide_same_element(loop: scf.ForOp) -> int:
+    """Within one iteration, a second access to the same element reuses
+    the line the first dereference resolved ("for future accesses of any
+    data item in the same cache line, we can directly resolve the
+    dereferencing", section 4.4)."""
+    last_seen: dict[tuple[int, int], int] = {}
+    count = 0
+    for pos, op in enumerate(loop.body.ops):
+        if not isinstance(op, (rmem.RLoadOp, rmem.RStoreOp)):
+            continue
+        if op.attrs.get("prefetch_stage"):
+            continue
+        key = (op.ref.uid, op.index.uid)
+        prev = last_seen.get(key)
+        if prev is not None and pos - prev <= _SAME_ELEMENT_WINDOW:
+            if not op.attrs.get("native"):
+                op.attrs["native"] = True
+                count += 1
+        last_seen[key] = pos
+    return count
+
+
+def _mark_alloc(module: Module, site) -> None:
+    for fn in module.functions.values():
+        for op in fn.walk():
+            if isinstance(op, (memref.AllocOp, remotable.RAllocOp)):
+                if op.result.uid == site.uid:
+                    op.attrs["elidable"] = True

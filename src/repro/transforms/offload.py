@@ -1,0 +1,52 @@
+"""Function-offloading transform (paper section 4.8).
+
+Marks chosen remotable functions ``offloaded``.  The runtime then invokes
+them over RPC on the far-memory node: their remotable-object accesses
+become node-local, their compute pays the far node's slowdown, and the
+caller flushes the functions' cached objects before the call (the
+interpreter implements the calling convention).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.offload import OffloadDecision, decide_offload, is_offload_candidate
+from repro.ir.core import Module
+from repro.memsim.cost_model import CostModel
+from repro.runtime.profiler import Profiler
+
+
+def apply_offload(
+    module: Module,
+    cost: CostModel,
+    profiler: Profiler | None = None,
+    functions: list[str] | None = None,
+    traffic_bytes: dict[str, float] | None = None,
+) -> list[OffloadDecision]:
+    """Mark functions for offloading.
+
+    With an explicit ``functions`` list, those are marked directly (they
+    must be candidates).  Otherwise every candidate is evaluated with the
+    profile-guided cost comparison.
+    """
+    decisions: list[OffloadDecision] = []
+    if functions is not None:
+        for name in functions:
+            fn = module.get(name)
+            ok = is_offload_candidate(fn, module)
+            if ok:
+                fn.attrs["offloaded"] = True
+            decisions.append(
+                OffloadDecision(name, ok, ok, reason="explicitly requested")
+            )
+        return decisions
+    if profiler is None:
+        return decisions
+    traffic_bytes = traffic_bytes or {}
+    for fn in module.functions.values():
+        decision = decide_offload(
+            fn, module, cost, profiler, traffic_bytes.get(fn.name, 0.0)
+        )
+        decisions.append(decision)
+        if decision.offload:
+            fn.attrs["offloaded"] = True
+    return decisions

@@ -1,0 +1,199 @@
+"""Adaptive prefetch insertion (paper section 4.5).
+
+Program analysis determines *what* will be accessed (scalar evolution of
+the index), and the system environment determines *when*: the prefetch
+distance is one network round trip ahead of the access, measured in loop
+iterations:
+
+    distance = ceil(net_rtt / estimated_iteration_time)
+
+Patterns handled:
+
+* affine (sequential/strided) loads/stores -- ``prefetch(ref, i + d*stride)``;
+* indirect ``B[A[i]]`` -- the chained form from the paper's introduction:
+  ``%1 = fetch A[i+d]; fetch B[%1]`` (A's own prefetch distance is doubled
+  so the stage-1 fetch hits);
+* coarse range touches (layer loops) -- prefetch the next iteration's
+  range.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.access import analyze_scope
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.scev import Affine, Indirect, scev_of
+from repro.ir.core import Module, Operation
+from repro.ir.dialects import arith, compute, memref, rmem, scf
+from repro.memsim.cost_model import CostModel
+from repro.transforms.utils import build_before, enclosing_loop
+
+#: clamp for prefetch distances (iterations)
+MIN_DISTANCE = 1
+MAX_DISTANCE = 4096
+
+
+def estimate_iteration_ns(loop: scf.ForOp, cost: CostModel) -> float:
+    """Static per-iteration execution-time estimate for one loop body."""
+    total = 0.0
+    for op in loop.walk():
+        if op is loop:
+            continue
+        if isinstance(op, scf.ForOp):
+            continue  # its body ops are charged below, scaled by its trips
+        scale = _nesting_trips(op, loop)
+        if isinstance(op, (memref.LoadOp, memref.StoreOp, rmem.RLoadOp, rmem.RStoreOp)):
+            total += (cost.dram_access_ns + cost.cpu_op_ns) * scale
+        elif isinstance(op, (memref.TouchOp, rmem.RTouchOp)):
+            total += (op.length / cost.dram_stream_bpns) * scale
+        elif isinstance(op, compute.WorkOp):
+            total += op.units * cost.cpu_op_ns * scale
+        else:
+            total += cost.cpu_op_ns * scale
+    return max(total, cost.cpu_op_ns)
+
+
+def _nesting_trips(op: Operation, outer: scf.ForOp) -> float:
+    """Product of literal trip counts of loops between ``op`` and
+    ``outer`` (8 when a bound is not literal)."""
+    trips = 1.0
+    loop = enclosing_loop(op)
+    while loop is not None and loop is not outer:
+        trips *= _literal_trip_count(loop) or 8
+        loop = enclosing_loop(loop)
+    return trips
+
+
+def _literal_trip_count(loop: scf.ForOp) -> int | None:
+    vals = []
+    for v in (loop.lb, loop.ub, loop.step):
+        prod = v.producer
+        if not isinstance(prod, arith.ConstantOp):
+            return None
+        vals.append(int(prod.value))
+    lb, ub, step = vals
+    return max(0, (ub - lb + step - 1) // step)
+
+
+def prefetch_distance(loop: scf.ForOp, cost: CostModel) -> int:
+    d = math.ceil(cost.net_rtt_ns / estimate_iteration_ns(loop, cost))
+    return max(MIN_DISTANCE, min(MAX_DISTANCE, d))
+
+
+def insert_prefetches(module: Module, cost: CostModel) -> int:
+    """Insert prefetch ops throughout the module; returns how many."""
+    alias = AliasAnalysis(module)
+    inserted = 0
+    for fn in module.functions.values():
+        loops = [
+            op for op in fn.walk() if isinstance(op, (scf.ForOp, scf.ParallelOp))
+        ]
+        for loop in loops:
+            inserted += _prefetch_loop(loop, alias, cost)
+    return inserted
+
+
+def _prefetch_loop(loop: scf.ForOp, alias: AliasAnalysis, cost: CostModel) -> int:
+    summaries = analyze_scope(loop, alias)
+    distance = prefetch_distance(loop, cost)
+    # sites whose values feed indirect accesses get a doubled distance so
+    # the chained stage-1 fetch is already resident when we read it
+    index_source_sites = set()
+    for summary in summaries.values():
+        index_source_sites.update(summary.index_sources)
+
+    inserted = 0
+    handled_indirect: set[int] = set()
+    prefetched_sites: list[str] = list(loop.attrs.get("prefetched_sites", []))
+    for site, summary in summaries.items():
+        for rec in summary.records:
+            if enclosing_loop(rec.op) is not loop:
+                continue  # handled when processing the inner loop
+            ref = rec.op.operands[0] if not _is_store(rec.op) else rec.op.operands[1]
+            if not getattr(ref.type, "remote", False):
+                continue
+            if rec.op.attrs.get("prefetch_stage"):
+                continue
+            if isinstance(rec.scev, Affine) and rec.scev.coeff != 0:
+                d = distance * (2 if site in index_source_sites else 1)
+                inserted += _insert_affine_prefetch(loop, rec, d, site)
+                if site.name not in prefetched_sites:
+                    prefetched_sites.append(site.name)
+            elif isinstance(rec.scev, Indirect):
+                # one chained prefetch per (index-source load, target
+                # object): the load and store of B[A[i]] share one fetch
+                key = (id(rec.scev.source_load), ref.uid)
+                if key in handled_indirect:
+                    continue
+                handled_indirect.add(key)
+                if _insert_indirect_prefetch(loop, rec, distance, alias):
+                    inserted += 1
+    loop.attrs["prefetched_sites"] = prefetched_sites
+    return inserted
+
+
+def _is_store(op: Operation) -> bool:
+    return isinstance(op, (memref.StoreOp, rmem.RStoreOp))
+
+
+def _insert_affine_prefetch(loop: scf.ForOp, rec, distance: int, site) -> int:
+    op = rec.op
+    block = op.parent_block
+    if isinstance(op, (memref.TouchOp, rmem.RTouchOp)):
+        # range touch: prefetch the range `distance` iterations ahead;
+        # touch offsets are in bytes, prefetch indices in elements
+        elem = site.elem_type.byte_size
+        length = op.length
+        count = max(1, length // elem)
+
+        def build(b):
+            ahead = b.add(op.start, distance * rec.scev.coeff)
+            idx = b.div(ahead, elem)
+            b.prefetch(op.ref, idx, count=count)
+
+        build_before(block, op, build)
+        return 1
+
+    def build(b):
+        ahead = b.add(op.index, distance * rec.scev.coeff)
+        b.prefetch(op.ref, ahead, count=1)
+
+    build_before(block, op, build)
+    op.attrs["prefetched"] = True
+    return 1
+
+
+def _insert_indirect_prefetch(
+    loop: scf.ForOp, rec, distance: int, alias: AliasAnalysis
+) -> bool:
+    """The paper's chained prefetch: %1 = fetch A[i+d]; fetch B[%1]."""
+    op = rec.op  # the access B[A[i]]
+    src_load = rec.scev.source_load  # the load A[i]
+    src_sites = alias.points_to(src_load.operands[0])
+    if len(src_sites) != 1:
+        return False  # need a unique source array to clamp against
+    src_site = next(iter(src_sites))
+    src_loop = enclosing_loop(src_load)
+    if src_loop is None:
+        return False
+    src_index_scev = scev_of(src_load.index, src_loop)
+    if not isinstance(src_index_scev, Affine) or src_index_scev.coeff == 0:
+        return False
+    block = src_load.parent_block
+    ref_b = op.operands[0] if not _is_store(op) else op.operands[1]
+    field = src_load.field
+
+    def build(b):
+        ahead = b.add(src_load.index, distance * src_index_scev.coeff)
+        clamped = b.min(ahead, src_site.num_elems - 1)
+        staged = b.load(src_load.operands[0], clamped, field=field)
+        staged.producer.attrs["prefetch_stage"] = True
+        from repro.ir.types import INDEX
+
+        idx = b.cast(staged, INDEX)
+        b.prefetch(ref_b, idx, count=1)
+
+    build_before(block, src_load, build)
+    op.attrs["prefetched"] = True
+    return True

@@ -1,0 +1,69 @@
+"""Read/write optimization (paper section 4.5).
+
+* After a loop that only *reads* an object -- and the loop contains the
+  object's last access in the function -- the cached copies are discarded
+  without write-back.
+* A loop that only *writes* an object with whole-element sequential stores
+  marks the allocation ``write_no_fetch``: the section allocates lines on
+  write misses without fetching them from far memory.  The planner copies
+  the flag into the section config.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.lifetime import LifetimeAnalysis
+from repro.analysis.readwrite import readwrite_info
+from repro.ir.core import Module
+from repro.ir.dialects import memref, remotable, scf
+from repro.transforms.utils import build_after
+
+
+def apply_readwrite_optimization(module: Module) -> dict[str, dict]:
+    """Returns per-site flags: {site name: {"write_no_fetch": bool,
+    "discard_after": bool}}."""
+    alias = AliasAnalysis(module)
+    lifetime = LifetimeAnalysis(module, alias)
+    flags: dict[str, dict] = {}
+    for fn in module.functions.values():
+        top_loops = [op for op in fn.body.ops if isinstance(op, scf.ForOp)]
+        for loop in top_loops:
+            loop_ops = set(id(o) for o in loop.walk())
+            for site, info in readwrite_info(loop, alias).items():
+                entry = flags.setdefault(
+                    site.name or str(site.uid),
+                    {"write_no_fetch": False, "discard_after": False},
+                )
+                if info.full_line_writes:
+                    entry["write_no_fetch"] = True
+                    _mark_alloc(module, site, "write_no_fetch")
+                if info.read_only:
+                    interval = lifetime.interval(fn.name, site)
+                    if interval is not None and id(interval.last_op) in loop_ops:
+                        ref = _ref_visible_at(fn, loop, site, alias)
+                        if ref is not None and getattr(ref.type, "remote", False):
+                            build_after(fn.body, loop, lambda b, r=ref: b.discard(r))
+                            entry["discard_after"] = True
+    return flags
+
+
+def _mark_alloc(module: Module, site, flag: str) -> None:
+    for fn in module.functions.values():
+        for op in fn.walk():
+            if isinstance(op, (memref.AllocOp, remotable.RAllocOp)):
+                if op.result.uid == site.uid:
+                    op.attrs[flag] = True
+
+
+def _ref_visible_at(fn, loop, site, alias: AliasAnalysis):
+    """A value referencing ``site`` that dominates the point after
+    ``loop`` (a function arg or a top-level definition before the loop)."""
+    loop_pos = fn.body.ops.index(loop)
+    for v in fn.args:
+        if site in alias.points_to(v):
+            return v
+    for op in fn.body.ops[:loop_pos]:
+        for res in op.results:
+            if site in alias.points_to(res):
+                return res
+    return None

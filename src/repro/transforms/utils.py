@@ -1,0 +1,72 @@
+"""Shared pass machinery: positional IR insertion and in-place op
+retyping.
+
+``retype_op`` swaps an op's class between the local and remote dialect
+(e.g. ``memref.load`` -> ``rmem.load``).  The two classes have identical
+operand/attribute layout, and swapping in place preserves every SSA result
+identity -- exactly what a conversion pass wants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import IRError
+from repro.ir.builder import IRBuilder
+from repro.ir.core import Block, Module, Operation
+
+
+def build_at(block: Block, index: int, build: Callable[[IRBuilder], object]):
+    """Build ops with an IRBuilder and splice them into ``block`` at
+    ``index``.  Returns (build's return value, number of ops inserted)."""
+    b = IRBuilder(Module("__splice__"))
+    tmp = Block()
+    b._push(tmp)
+    result = build(b)
+    for i, op in enumerate(tmp.ops):
+        op.parent_block = block
+        block.ops.insert(index + i, op)
+    return result, len(tmp.ops)
+
+
+def build_before(block: Block, op: Operation, build: Callable[[IRBuilder], object]):
+    return build_at(block, block.ops.index(op), build)
+
+
+def build_after(block: Block, op: Operation, build: Callable[[IRBuilder], object]):
+    return build_at(block, block.ops.index(op) + 1, build)
+
+
+def retype_op(op: Operation, new_class: type[Operation], extra_attrs: dict | None = None) -> None:
+    """Swap an op's class in place (local <-> remote dialect conversion)."""
+    op.__class__ = new_class
+    if extra_attrs:
+        op.attrs.update(extra_attrs)
+
+
+def enclosing_loop(op: Operation):
+    """The innermost scf.for / scf.parallel containing ``op`` (None at
+    function level)."""
+    from repro.ir.dialects import scf
+
+    block = op.parent_block
+    while block is not None:
+        region = block.parent_region
+        if region is None:
+            return None
+        parent = region.parent_op
+        if isinstance(parent, (scf.ForOp, scf.ParallelOp)):
+            return parent
+        block = parent.parent_block if parent is not None else None
+    return None
+
+
+def top_level_position(fn_body: Block, op: Operation) -> int:
+    """Index in ``fn_body`` of the top-level op containing ``op``."""
+    target = op
+    while target.parent_block is not fn_body:
+        region = target.parent_block.parent_region
+        if region is None or region.parent_op is None:
+            raise IRError("op is not nested in the given function body")
+        target = region.parent_op
+    return fn_body.ops.index(target)

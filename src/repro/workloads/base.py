@@ -1,0 +1,33 @@
+"""Workload packaging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.pipeline import footprint_bytes
+from repro.ir.core import Module
+from repro.runtime.objects import MemRefVal
+
+
+@dataclass
+class Workload:
+    """A reproducible program + data + correctness check."""
+
+    name: str
+    #: builds a fresh module (modules are mutated by compilation)
+    build_module: Callable[[], Module]
+    #: fills backing data when an allocation executes (by name)
+    data_init: Callable[[str, MemRefVal], None] | None = None
+    entry: str = "main"
+    #: validates the entry function's results; raises on mismatch
+    check: Callable[[list], None] | None = None
+    description: str = ""
+    params: dict = field(default_factory=dict)
+
+    def footprint_bytes(self) -> int:
+        return footprint_bytes(self.build_module())
+
+    def verify_results(self, results: list) -> None:
+        if self.check is not None:
+            self.check(results)

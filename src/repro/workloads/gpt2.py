@@ -1,0 +1,135 @@
+"""GPT-2 inference at layer granularity (paper section 6: GPT-2 on
+ONNX/MLIR, CPU inference with KV caching).
+
+The program is the transformer's layer loop: each forward pass streams
+every layer's weight matrices, reads and appends the layer's KV-cache
+slab, reuses a small activation buffer, and charges the layer's FLOPs as
+compute time.  The properties the paper's evaluation rests on hold by
+construction:
+
+* layer-by-layer lifetime -- a layer's weights/KV are dead until the next
+  pass (Mira's analysis prefetches the next layer and evicts the previous
+  one, keeping performance flat down to a few percent of local memory,
+  Fig. 17);
+* CPU inference is compute-bound relative to the link (seq x batch FLOPs
+  per weight byte), so overlapped transfers hide entirely -- while
+  demand-paged systems serialize 4 KB faults and collapse;
+* read-only weights shared across threads (Fig. 24).
+
+Sizes are scaled down from the 100M-1.5B-parameter models (the shape, not
+the absolute footprint, drives every effect).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.types import F64, IntType, MemRefType
+from repro.ir.verifier import verify
+from repro.workloads.base import Workload
+
+#: pseudo-fp16 weights: 2-byte elements
+HALF = IntType(16)
+
+
+def make_gpt2_workload(
+    layers: int = 48,
+    d_model: int = 256,
+    seq_len: int = 256,
+    batch: int = 4,
+    passes: int = 3,
+    warmup_passes: int = 1,
+    num_threads: int = 1,
+    compute_per_byte_ns: float = 0.5,
+) -> Workload:
+    """Transformer inference: ``passes`` measured forward passes after
+    ``warmup_passes`` untimed ones (model loading / steady state, as the
+    paper measures inference throughput, not cold start)."""
+    elem = HALF.byte_size
+    attn_bytes = 4 * d_model * d_model * elem  # Wq,Wk,Wv,Wproj
+    mlp_bytes = 8 * d_model * d_model * elem  # Wmlp1 (d->4d), Wmlp2 (4d->d)
+    kv_bytes = 2 * seq_len * d_model * batch * elem
+    act_bytes = seq_len * d_model * batch * elem
+    attn_elems = attn_bytes // elem
+    mlp_elems = mlp_bytes // elem
+    kv_elems = kv_bytes // elem
+    act_elems = act_bytes // elem
+    layer_bytes = attn_bytes + mlp_bytes + kv_bytes
+    compute_units_per_layer = layer_bytes * compute_per_byte_ns
+
+    def build_module():
+        b = IRBuilder()
+
+        with b.func(
+            "forward_pass",
+            [MemRefType(HALF)] * 4,
+            [],
+            ["w_attn", "w_mlp", "kv_cache", "acts"],
+        ) as fn:
+            w_attn, w_mlp, kv_cache, acts = fn.args
+            threads = max(1, num_threads)
+            kv_slice = kv_bytes // threads
+            act_slice = act_bytes // threads
+            slice_compute = compute_units_per_layer / threads
+
+            def layer_loop(thread_iv):
+                """One thread's full forward pass over its batch slice:
+                weights are shared read-only, KV/activations are sliced."""
+                with b.for_(0, layers) as loop:
+                    layer = loop.iv
+                    attn_off = b.mul(layer, attn_bytes)
+                    b.touch(w_attn, attn_off, attn_bytes)
+                    kv_off = b.add(
+                        b.mul(layer, kv_bytes), b.mul(thread_iv, kv_slice)
+                    )
+                    b.touch(kv_cache, kv_off, kv_slice)
+                    b.work(slice_compute * 0.5, "attention")
+                    b.touch(kv_cache, kv_off, kv_slice, is_write=True)
+                    mlp_off = b.mul(layer, mlp_bytes)
+                    b.touch(w_mlp, mlp_off, mlp_bytes)
+                    b.work(slice_compute * 0.5, "mlp")
+                    act_off = b.mul(thread_iv, act_slice)
+                    b.touch(acts, act_off, act_slice, is_write=True)
+
+            if threads > 1:
+                # batch-parallel inference: every thread runs the whole
+                # layer loop on shared read-only weights (Fig. 24)
+                with b.parallel(0, threads, num_threads=threads) as par:
+                    layer_loop(par.iv)
+            else:
+                zero = b.index(0)
+                layer_loop(zero)
+
+        with b.func("main", result_types=[F64]):
+            w_attn = b.alloc(HALF, layers * attn_elems, "w_attn")
+            w_mlp = b.alloc(HALF, layers * mlp_elems, "w_mlp")
+            kv_cache = b.alloc(HALF, layers * kv_elems, "kv_cache")
+            acts = b.alloc(HALF, act_elems, "acts")
+            with b.for_(0, warmup_passes):
+                b.call("forward_pass", [w_attn, w_mlp, kv_cache, acts])
+            b.prof_begin("measured")
+            with b.for_(0, passes):
+                b.call("forward_pass", [w_attn, w_mlp, kv_cache, acts])
+            b.prof_end("measured")
+            b.ret([b.f64(float(layers * passes))])
+        verify(b.module)
+        return b.module
+
+    def check(results):
+        assert results[0] == float(layers * passes)
+
+    return Workload(
+        name="gpt2",
+        build_module=build_module,
+        data_init=None,  # touch ops do not read values
+        check=check,
+        description="transformer inference: layer-wise weight/KV streaming",
+        params={
+            "layers": layers,
+            "d_model": d_model,
+            "seq_len": seq_len,
+            "batch": batch,
+            "passes": passes,
+            "layer_bytes": layer_bytes,
+            "num_threads": num_threads,
+        },
+    )

@@ -1,0 +1,24 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsim.clock import VirtualClock
+from repro.memsim.cost_model import CostModel
+from repro.memsim.network import Network
+
+
+@pytest.fixture
+def cost() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def network(cost, clock) -> Network:
+    return Network(cost, clock)

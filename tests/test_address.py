@@ -1,0 +1,89 @@
+"""Address space / object info tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryError_
+from repro.memsim.address import PAGE_SIZE, AddressSpace
+
+
+def test_allocate_assigns_unique_ids():
+    aspace = AddressSpace()
+    a = aspace.allocate(100)
+    b = aspace.allocate(200)
+    assert a.obj_id != b.obj_id
+
+
+def test_objects_page_aligned_and_disjoint():
+    aspace = AddressSpace()
+    a = aspace.allocate(5000)
+    b = aspace.allocate(100)
+    assert a.base_va % PAGE_SIZE == 0
+    assert b.base_va % PAGE_SIZE == 0
+    # guard page: no page contains bytes of two objects
+    assert b.base_va // PAGE_SIZE > (a.end_va - 1) // PAGE_SIZE
+
+
+def test_va_of_bounds():
+    aspace = AddressSpace()
+    obj = aspace.allocate(64)
+    assert obj.va_of(0) == obj.base_va
+    assert obj.va_of(63) == obj.base_va + 63
+    with pytest.raises(MemoryError_):
+        obj.va_of(64)
+    with pytest.raises(MemoryError_):
+        obj.va_of(-1)
+
+
+def test_invalid_sizes_rejected():
+    aspace = AddressSpace()
+    with pytest.raises(MemoryError_):
+        aspace.allocate(0)
+    with pytest.raises(MemoryError_):
+        aspace.allocate(10, elem_size=0)
+
+
+def test_free_and_double_free():
+    aspace = AddressSpace()
+    obj = aspace.allocate(100)
+    aspace.free(obj.obj_id)
+    assert obj.freed
+    with pytest.raises(MemoryError_):
+        aspace.free(obj.obj_id)
+
+
+def test_unknown_object():
+    with pytest.raises(MemoryError_):
+        AddressSpace().get(42)
+
+
+def test_live_bytes_tracking():
+    aspace = AddressSpace()
+    a = aspace.allocate(100)
+    aspace.allocate(200)
+    assert aspace.total_live_bytes() == 300
+    aspace.free(a.obj_id)
+    assert aspace.total_live_bytes() == 200
+
+
+def test_find_by_name():
+    aspace = AddressSpace()
+    aspace.allocate(100, name="edges")
+    assert aspace.find_by_name("edges").size == 100
+    with pytest.raises(MemoryError_):
+        aspace.find_by_name("nope")
+
+
+def test_num_elems():
+    aspace = AddressSpace()
+    obj = aspace.allocate(96, elem_size=24)
+    assert obj.num_elems == 4
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1 << 20), max_size=30))
+def test_allocations_never_overlap(sizes):
+    aspace = AddressSpace()
+    objs = [aspace.allocate(s) for s in sizes]
+    spans = sorted((o.base_va, o.end_va) for o in objs)
+    for (_, end1), (start2, _) in zip(spans, spans[1:]):
+        assert end1 <= start2

@@ -1,0 +1,302 @@
+"""Program-analysis tests: alias, scalar evolution, access patterns,
+lifetime, locality, dependence, read/write."""
+
+import pytest
+
+from repro.analysis.access import AccessPattern, analyze_scope, top_level_loops
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.dependence import adjacent_fusable_pairs, can_fuse
+from repro.analysis.lifetime import LifetimeAnalysis
+from repro.analysis.locality import choose_line_size, choose_structure
+from repro.analysis.readwrite import readwrite_info
+from repro.analysis.scev import Affine, Indirect, Invariant, Unknown, scev_of
+from repro.cache.config import Structure
+from repro.ir import IRBuilder, verify
+from repro.ir.dialects import scf
+from repro.ir.types import F64, I64, INDEX, MemRefType, StructType
+from repro.memsim.cost_model import CostModel
+
+
+def _graph_module(num_edges=100, num_nodes=10):
+    b = IRBuilder()
+    edge_t = StructType("edge", (("src", I64), ("w", F64)))
+    with b.func("main", result_types=[F64]):
+        edges = b.alloc(edge_t, num_edges, "edges")
+        nodes = b.alloc(F64, num_nodes, "nodes")
+        z = b.f64(0.0)
+        with b.for_(0, num_edges, iter_args=[z]) as loop:
+            s = b.cast(b.load(edges, loop.iv, field="src"), INDEX)
+            v = b.load(nodes, s)
+            b.store(b.add(v, 1.0), nodes, s)
+            b.yield_([b.add(loop.args[0], v)])
+        b.ret([loop.results[0]])
+    verify(b.module)
+    return b.module
+
+
+# -- alias ----------------------------------------------------------------
+
+
+def test_alias_alloc_points_to_itself():
+    m = _graph_module()
+    alias = AliasAnalysis(m)
+    edges = alias.site_named("edges")
+    vals = alias.values_of_site(edges)
+    assert vals, "alloc result must alias its site"
+
+
+def test_alias_propagates_through_calls():
+    b = IRBuilder()
+    ref_t = MemRefType(F64)
+    with b.func("reader", [ref_t], [F64], ["a"]) as fn:
+        b.ret([b.load(fn.args[0], 0)])
+    with b.func("main", result_types=[F64]):
+        arr = b.alloc(F64, 8, "arr")
+        r = b.call("reader", [arr], [F64]).results[0]
+        b.ret([r])
+    verify(b.module)
+    alias = AliasAnalysis(b.module)
+    site = alias.site_named("arr")
+    reader_arg = b.module.get("reader").args[0]
+    assert site in alias.points_to(reader_arg)
+
+
+def test_alias_through_select_unions():
+    b = IRBuilder()
+    with b.func("main"):
+        a = b.alloc(F64, 8, "a")
+        c = b.alloc(F64, 8, "c")
+        cond = b.true()
+        picked = b.select(cond, a, c)
+        b.load(picked, 0)
+    alias = AliasAnalysis(b.module)
+    sites = alias.points_to(b.module.get("main").body.ops[3].result)
+    assert {s.name for s in sites} == {"a", "c"}
+
+
+def test_alias_through_loop_carried_memref():
+    b = IRBuilder()
+    with b.func("main"):
+        a = b.alloc(F64, 8, "a")
+        c = b.alloc(F64, 8, "c")
+        with b.for_(0, 4, iter_args=[a]) as loop:
+            cur = loop.args[0]
+            b.load(cur, 0)
+            b.yield_([c])
+    alias = AliasAnalysis(b.module)
+    loop_op = top_level_loops(b.module.get("main"))[0]
+    sites = alias.points_to(loop_op.body_iter_args[0])
+    assert {s.name for s in sites} == {"a", "c"}
+
+
+# -- scalar evolution ---------------------------------------------------------
+
+
+def _loop_and_builder():
+    b = IRBuilder()
+    fn_cm = b.func("f")
+    fn_cm.__enter__()
+    arr = b.alloc(I64, 64, "arr")
+    loop_cm = b.for_(0, 64)
+    handle = loop_cm.__enter__()
+    return b, arr, handle.op, (fn_cm, loop_cm)
+
+
+def test_scev_induction_var():
+    b, arr, loop, _ = _loop_and_builder()
+    assert scev_of(loop.induction_var, loop) == Affine(1, 0)
+
+
+def test_scev_affine_arithmetic():
+    b, arr, loop, _ = _loop_and_builder()
+    iv = loop.induction_var
+    e = b.add(b.mul(iv, 3), 7)
+    s = scev_of(e, loop)
+    assert s == Affine(3, 7)
+
+
+def test_scev_invariant():
+    b, arr, loop, _ = _loop_and_builder()
+    outside = arr  # defined before the loop
+    assert isinstance(scev_of(outside, loop), Invariant)
+
+
+def test_scev_indirect():
+    b, arr, loop, _ = _loop_and_builder()
+    v = b.load(arr, loop.induction_var)
+    idx = b.cast(v, INDEX)
+    s = scev_of(idx, loop)
+    assert isinstance(s, Indirect)
+    assert s.source_load is v.producer
+
+
+def test_scev_rem_is_unknown():
+    b, arr, loop, _ = _loop_and_builder()
+    e = b.rem(b.mul(loop.induction_var, 48271), 97)
+    assert isinstance(scev_of(e, loop), Unknown)
+
+
+# -- access patterns ---------------------------------------------------------
+
+
+def test_access_patterns_graph():
+    m = _graph_module()
+    alias = AliasAnalysis(m)
+    loop = top_level_loops(m.get("main"))[0]
+    summaries = {s.site.name: s for s in analyze_scope(loop, alias).values()}
+    assert summaries["edges"].pattern is AccessPattern.SEQUENTIAL
+    assert summaries["nodes"].pattern is AccessPattern.INDIRECT
+    assert summaries["edges"].read_only
+    assert not summaries["nodes"].read_only
+    assert summaries["nodes"].index_sources[0].name == "edges"
+
+
+def test_access_fields_and_selective_bytes():
+    m = _graph_module()
+    alias = AliasAnalysis(m)
+    loop = top_level_loops(m.get("main"))[0]
+    edges = next(
+        s for s in analyze_scope(loop, alias).values() if s.site.name == "edges"
+    )
+    assert edges.fields_accessed() == {"src"}
+    assert edges.accessed_bytes_per_elem() == 8  # only 'src' of the 16-B edge
+
+
+# -- lifetime -----------------------------------------------------------------
+
+
+def test_lifetime_intervals_and_overlap():
+    b = IRBuilder()
+    with b.func("main"):
+        a = b.alloc(F64, 8, "a")
+        c = b.alloc(F64, 8, "c")
+        with b.for_(0, 4) as l1:
+            b.load(a, l1.iv)
+        with b.for_(0, 4) as l2:
+            b.load(c, l2.iv)
+    alias = AliasAnalysis(b.module)
+    lt = LifetimeAnalysis(b.module, alias)
+    ia = lt.interval("main", alias.site_named("a"))
+    ic = lt.interval("main", alias.site_named("c"))
+    assert ia.last_index < ic.first_index
+    assert not ia.overlaps(ic)
+
+
+def test_lifetime_concurrent_groups():
+    b = IRBuilder()
+    with b.func("main"):
+        a = b.alloc(F64, 8, "a")
+        c = b.alloc(F64, 8, "c")
+        with b.for_(0, 4) as loop:
+            b.load(a, loop.iv)
+            b.load(c, loop.iv)
+    alias = AliasAnalysis(b.module)
+    lt = LifetimeAnalysis(b.module, alias)
+    groups = lt.concurrent_groups("main")
+    assert {s.name for s in groups[0]} == {"a", "c"}
+
+
+# -- locality / structure choice -----------------------------------------------
+
+
+def test_structure_choice_sequential_is_direct():
+    m = _graph_module()
+    alias = AliasAnalysis(m)
+    loop = top_level_loops(m.get("main"))[0]
+    edges = next(
+        s for s in analyze_scope(loop, alias).values() if s.site.name == "edges"
+    )
+    choice = choose_structure(edges, 4096, 64)
+    assert choice.structure is Structure.DIRECT
+
+
+def test_structure_choice_indirect_is_set_associative():
+    m = _graph_module()
+    alias = AliasAnalysis(m)
+    loop = top_level_loops(m.get("main"))[0]
+    nodes = next(
+        s for s in analyze_scope(loop, alias).values() if s.site.name == "nodes"
+    )
+    choice = choose_structure(nodes, 4096, 64)
+    assert choice.structure is Structure.SET_ASSOCIATIVE
+
+
+def test_line_size_sequential_grows():
+    m = _graph_module(num_edges=10000)
+    alias = AliasAnalysis(m)
+    loop = top_level_loops(m.get("main"))[0]
+    cost = CostModel()
+    edges = next(
+        s for s in analyze_scope(loop, alias).values() if s.site.name == "edges"
+    )
+    nodes = next(
+        s for s in analyze_scope(loop, alias).values() if s.site.name == "nodes"
+    )
+    assert choose_line_size(edges, cost) >= 1024
+    assert choose_line_size(nodes, cost) <= 128
+
+
+# -- dependence / fusion ----------------------------------------------------------
+
+
+def _two_loop_module(write_second=False):
+    b = IRBuilder()
+    with b.func("main", result_types=[F64, F64]):
+        arr = b.alloc(F64, 32, "arr")
+        z1 = b.f64(0.0)
+        with b.for_(0, 32, iter_args=[z1]) as l1:
+            v = b.load(arr, l1.iv)
+            b.yield_([b.add(l1.args[0], v)])
+        z2 = b.f64(0.0)
+        with b.for_(0, 32, iter_args=[z2]) as l2:
+            v = b.load(arr, l2.iv)
+            if write_second:
+                b.store(b.add(v, 1.0), arr, l2.iv)
+            b.yield_([b.add(l2.args[0], v)])
+        b.ret([l1.results[0], l2.results[0]])
+    verify(b.module)
+    return b.module
+
+
+def test_adjacent_readonly_loops_fuse():
+    m = _two_loop_module()
+    alias = AliasAnalysis(m)
+    assert len(adjacent_fusable_pairs(m.get("main"), alias)) == 1
+
+
+def test_write_dependence_blocks_fusion():
+    m = _two_loop_module(write_second=True)
+    alias = AliasAnalysis(m)
+    assert adjacent_fusable_pairs(m.get("main"), alias) == []
+
+
+def test_different_bounds_block_fusion():
+    b = IRBuilder()
+    with b.func("main"):
+        arr = b.alloc(F64, 32, "arr")
+        with b.for_(0, 32) as l1:
+            b.load(arr, l1.iv)
+        with b.for_(0, 16) as l2:
+            b.load(arr, l2.iv)
+    alias = AliasAnalysis(b.module)
+    loops = top_level_loops(b.module.get("main"))
+    assert not can_fuse(loops[0], loops[1], alias)
+
+
+# -- read/write classification ------------------------------------------------------
+
+
+def test_readwrite_info():
+    b = IRBuilder()
+    with b.func("main"):
+        src = b.alloc(F64, 32, "src")
+        dst = b.alloc(F64, 32, "dst")
+        with b.for_(0, 32) as loop:
+            v = b.load(src, loop.iv)
+            b.store(v, dst, loop.iv)
+    alias = AliasAnalysis(b.module)
+    loop = top_level_loops(b.module.get("main"))[0]
+    info = {i.site.name: i for i in readwrite_info(loop, alias).values()}
+    assert info["src"].read_only
+    assert info["dst"].write_only
+    assert info["dst"].full_line_writes

@@ -1,0 +1,176 @@
+"""Cache-manager (Mira memory system) tests."""
+
+import pytest
+
+from repro.cache.config import SectionConfig, Structure
+from repro.cache.manager import CacheManager
+from repro.errors import ConfigError, MemoryError_
+from repro.memsim.cost_model import CostModel
+
+
+@pytest.fixture
+def mgr(cost):
+    return CacheManager(cost, 1 << 20)
+
+
+def test_unassigned_objects_go_to_swap(mgr):
+    obj = mgr.allocate(64 * 1024, name="a")
+    mgr.access(obj.obj_id, 0, 8, False)
+    assert mgr.swap.stats.misses == 1
+
+
+def test_out_of_bounds_access_rejected(mgr):
+    obj = mgr.allocate(100, name="a")
+    with pytest.raises(MemoryError_):
+        mgr.access(obj.obj_id, 100, 8, False)
+
+
+def test_open_section_routes_accesses(mgr):
+    obj = mgr.allocate(64 * 1024, name="a")
+    sec = mgr.open_section(SectionConfig("s", 8192, 64), [obj.obj_id])
+    mgr.access(obj.obj_id, 0, 8, False)
+    assert sec.stats.accesses == 1
+    assert mgr.swap.stats.accesses == 0
+
+
+def test_section_budget_enforced(mgr):
+    mgr.open_section(SectionConfig("s1", 1 << 19, 64), [])
+    mgr.open_section(SectionConfig("s2", 1 << 19, 64), [])
+    with pytest.raises(ConfigError):
+        mgr.open_section(SectionConfig("s3", 4096, 64), [])
+
+
+def test_duplicate_section_name_rejected(mgr):
+    mgr.open_section(SectionConfig("s", 4096, 64), [])
+    with pytest.raises(ConfigError):
+        mgr.open_section(SectionConfig("s", 4096, 64), [])
+
+
+def test_open_section_shrinks_swap_and_close_restores(mgr):
+    pages_before = mgr.swap.capacity_pages
+    mgr.open_section(SectionConfig("s", 1 << 19, 64), [])
+    assert mgr.swap.capacity_pages < pages_before
+    mgr.close_section("s")
+    assert mgr.swap.capacity_pages == pages_before
+
+
+def test_close_unknown_section(mgr):
+    with pytest.raises(ConfigError):
+        mgr.close_section("nope")
+
+
+def test_close_section_returns_objects_to_swap(mgr):
+    obj = mgr.allocate(4096, name="a")
+    mgr.open_section(SectionConfig("s", 8192, 64), [obj.obj_id])
+    mgr.close_section("s")
+    mgr.access(obj.obj_id, 0, 8, False)
+    assert mgr.swap.stats.accesses == 1
+
+
+def test_assign_moves_object_out_of_swap(mgr):
+    obj = mgr.allocate(4096, name="a")
+    mgr.access(obj.obj_id, 0, 8, True)  # dirty page in swap
+    written_before = mgr.network.stats.bytes_written
+    mgr.open_section(SectionConfig("s", 8192, 64), [obj.obj_id])
+    # the dirty swap page was written back on reassignment
+    assert mgr.network.stats.bytes_written > written_before
+    mgr.access(obj.obj_id, 0, 8, False)
+    assert mgr.sections()["s"].stats.accesses == 1
+
+
+def test_pending_assignment_applies_at_allocation(mgr):
+    mgr.open_section(SectionConfig("s", 8192, 64), [])
+    mgr.pending_assignment["arr"] = "s"
+    obj = mgr.allocate(4096, name="arr")
+    mgr.access(obj.obj_id, 0, 8, False)
+    assert mgr.sections()["s"].stats.accesses == 1
+
+
+def test_per_thread_sections_route_by_thread(mgr):
+    obj = mgr.allocate(4096, name="a")
+    mgr.open_section(SectionConfig("s", 16384, 64), [obj.obj_id], per_thread=2)
+    mgr.current_thread = 0
+    mgr.access(obj.obj_id, 0, 8, False)
+    mgr.current_thread = 1
+    mgr.access(obj.obj_id, 0, 8, False)
+    secs = mgr.sections()
+    assert secs["s@t0"].stats.accesses == 1
+    assert secs["s@t1"].stats.accesses == 1
+    # each thread has its own copy: both missed
+    assert secs["s@t0"].stats.misses == 1
+    assert secs["s@t1"].stats.misses == 1
+    mgr.close_section("s")
+    assert not mgr.sections()
+
+
+def test_prefetch_batch_single_message(mgr):
+    a = mgr.allocate(8192, name="a")
+    b = mgr.allocate(8192, name="b")
+    mgr.open_section(SectionConfig("s", 16384, 64), [a.obj_id, b.obj_id])
+    msgs_before = mgr.network.stats.messages
+    mgr.prefetch_batch([(a.obj_id, 0, 128), (b.obj_id, 0, 128)])
+    assert mgr.network.stats.messages == msgs_before + 1
+
+
+def test_prefetch_window_capped(mgr):
+    obj = mgr.allocate(1 << 19, name="a")
+    mgr.open_section(SectionConfig("s", 8 * 64, 64), [obj.obj_id])
+    mgr.prefetch(obj.obj_id, 0, 1 << 19)  # would be 8192 lines
+    sec = mgr.sections()["s"]
+    assert sec.stats.prefetches_issued <= 4  # half of 8 lines
+
+
+def test_evict_hint_trailing_marks_previous_line(mgr):
+    obj = mgr.allocate(4096, name="a")
+    sec = mgr.open_section(SectionConfig("s", 8192, 64), [obj.obj_id])
+    mgr.access(obj.obj_id, 0, 8, False)
+    mgr.access(obj.obj_id, 64, 8, False)
+    mgr.evict_hint_trailing(obj.obj_id, 64)
+    assert sec.peek((obj.obj_id, 0)).evictable
+    assert not sec.peek((obj.obj_id, 1)).evictable
+
+
+def test_discard_drops_clean_lines(mgr):
+    obj = mgr.allocate(4096, name="a")
+    sec = mgr.open_section(SectionConfig("s", 8192, 64), [obj.obj_id])
+    mgr.access(obj.obj_id, 0, 8, False)
+    mgr.discard(obj.obj_id)
+    assert not sec.resident_lines()
+
+
+def test_free_releases_cached_state(mgr):
+    obj = mgr.allocate(4096, name="a")
+    sec = mgr.open_section(SectionConfig("s", 8192, 64), [obj.obj_id])
+    mgr.access(obj.obj_id, 0, 8, False)
+    mgr.free(obj.obj_id)
+    assert not sec.resident_lines()
+
+
+def test_metadata_accounting(mgr):
+    obj = mgr.allocate(64 * 1024, name="a")
+    mgr.access(obj.obj_id, 0, 8, False)  # one swap page: 8 bytes
+    assert mgr.metadata_bytes() == 8
+    mgr.open_section(SectionConfig("s", 8192, 64, metadata_per_line=16), [obj.obj_id])
+    mgr.access(obj.obj_id, 0, 8, False)
+    assert mgr.metadata_bytes() == 16
+    mgr._track_metadata()  # peak tracking is sampled; force one sample
+    assert mgr.peak_metadata_bytes >= 16
+
+
+def test_metadata_free_section_keeps_none(mgr):
+    obj = mgr.allocate(4096, name="a")
+    mgr.open_section(
+        SectionConfig("s", 8192, 64, metadata_free=True), [obj.obj_id]
+    )
+    mgr.access(obj.obj_id, 0, 8, False)
+    assert mgr.metadata_bytes() == 0
+
+
+def test_per_object_miss_stats(mgr):
+    obj = mgr.allocate(64 * 1024, name="a")
+    mgr.access(obj.obj_id, 0, 8, False)
+    mgr.access(obj.obj_id, 8, 8, False)
+    st = mgr.stats.object(obj.obj_id)
+    assert st.accesses == 2
+    assert st.misses == 1
+    assert st.miss_rate == 0.5

@@ -1,0 +1,91 @@
+"""Virtual clock unit tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MiraError
+from repro.memsim.clock import VirtualClock
+
+
+def test_starts_at_zero():
+    assert VirtualClock().now == 0.0
+
+
+def test_advance_accumulates():
+    c = VirtualClock()
+    c.advance(10.0, "compute")
+    c.advance(5.0, "dram")
+    assert c.now == 15.0
+    assert c.breakdown() == {"compute": 10.0, "dram": 5.0}
+
+
+def test_advance_negative_rejected():
+    with pytest.raises(MiraError):
+        VirtualClock().advance(-1.0)
+
+
+def test_wait_until_future():
+    c = VirtualClock()
+    c.advance(10.0)
+    c.wait_until(25.0, "miss_wait")
+    assert c.now == 25.0
+    assert c.category("miss_wait") == 15.0
+
+
+def test_wait_until_past_is_noop():
+    c = VirtualClock()
+    c.advance(10.0)
+    c.wait_until(5.0)
+    assert c.now == 10.0
+
+
+def test_category_missing_is_zero():
+    assert VirtualClock().category("nope") == 0.0
+
+
+def test_reset():
+    c = VirtualClock()
+    c.advance(10.0, "x")
+    c.reset()
+    assert c.now == 0.0
+    assert c.breakdown() == {}
+
+
+def test_fork_starts_at_parent_time_with_empty_breakdown():
+    c = VirtualClock()
+    c.advance(100.0, "compute")
+    f = c.fork()
+    assert f.now == 100.0
+    assert f.breakdown() == {}
+
+
+def test_join_takes_max_and_merges():
+    c = VirtualClock()
+    c.advance(100.0, "compute")
+    f1, f2 = c.fork(), c.fork()
+    f1.advance(50.0, "dram")
+    f2.advance(80.0, "dram")
+    c.join(f1)
+    c.join(f2)
+    assert c.now == 180.0
+    assert c.category("dram") == 130.0
+
+
+def test_join_earlier_clock_keeps_time():
+    c = VirtualClock()
+    c.advance(100.0)
+    f = c.fork()
+    c.advance(500.0)
+    c.join(f)
+    assert c.now == 600.0
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e9), max_size=50))
+def test_advance_monotone(durations):
+    c = VirtualClock()
+    prev = 0.0
+    for d in durations:
+        c.advance(d)
+        assert c.now >= prev
+        prev = c.now
+    assert c.now == pytest.approx(sum(durations))

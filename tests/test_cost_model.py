@@ -1,0 +1,68 @@
+"""Cost model unit tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsim.cost_model import CostModel
+
+
+def test_transfer_scales_with_bytes(cost):
+    assert cost.transfer_ns(0) == 0.0
+    assert cost.transfer_ns(625) == pytest.approx(100.0)
+
+
+def test_transfer_negative_rejected(cost):
+    with pytest.raises(ConfigError):
+        cost.transfer_ns(-1)
+
+
+def test_one_sided_adds_rtt(cost):
+    assert cost.one_sided_ns(0) == cost.net_rtt_ns
+    assert cost.one_sided_ns(6250) == pytest.approx(cost.net_rtt_ns + 1000.0)
+
+
+def test_two_sided_more_expensive_than_one_sided(cost):
+    for nbytes in (0, 64, 4096):
+        assert cost.two_sided_ns(nbytes) > cost.one_sided_ns(nbytes)
+
+
+def test_two_sided_cheaper_for_selective_fetch(cost):
+    """The section 4.7 trade-off: fetching 64 selected bytes two-sided
+    beats fetching the whole 4 KB structure one-sided."""
+    assert cost.two_sided_ns(64) < cost.one_sided_ns(4096)
+
+
+def test_page_fetch_includes_fault_path(cost):
+    base = cost.page_fetch_ns(4096)
+    assert base > cost.one_sided_ns(4096)
+    assert cost.page_fetch_ns(4096, extra_fault_ns=1000.0) == pytest.approx(
+        base + 1000.0
+    )
+
+
+def test_hit_overhead_ordering(cost):
+    """Lookup cost: direct < set-associative < fully-associative."""
+    assert (
+        cost.hit_overhead_ns("direct")
+        < cost.hit_overhead_ns("set_associative")
+        < cost.hit_overhead_ns("fully_associative")
+    )
+
+
+def test_hit_overhead_unknown_structure(cost):
+    with pytest.raises(ConfigError):
+        cost.hit_overhead_ns("weird")
+
+
+def test_with_overrides(cost):
+    c2 = cost.with_overrides(net_rtt_ns=9999.0)
+    assert c2.net_rtt_ns == 9999.0
+    assert cost.net_rtt_ns != 9999.0
+    assert c2.dram_access_ns == cost.dram_access_ns
+
+
+def test_invalid_models_rejected():
+    with pytest.raises(ConfigError):
+        CostModel(net_bandwidth_bpns=0)
+    with pytest.raises(ConfigError):
+        CostModel(dram_access_ns=-1)

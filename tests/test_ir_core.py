@@ -1,0 +1,207 @@
+"""IR core structure, builder, verifier, printer, and cloning tests."""
+
+import pytest
+
+from repro.errors import IRError, VerificationError
+from repro.ir import IRBuilder, print_module, verify
+from repro.ir.cloning import clone_module
+from repro.ir.core import Block, Module
+from repro.ir.dialects import arith, func as func_d, memref, rmem, scf
+from repro.ir.types import F64, I64, INDEX, MemRefType, StructType
+
+
+def test_builder_simple_function():
+    b = IRBuilder()
+    with b.func("f", [INDEX], [INDEX], ["x"]) as fn:
+        y = b.add(fn.args[0], 1)
+        b.ret([y])
+    verify(b.module)
+    assert b.module.get("f").type.inputs == (INDEX,)
+
+
+def test_builder_auto_return():
+    b = IRBuilder()
+    with b.func("f"):
+        b.index(1)
+    term = b.module.get("f").body.terminator
+    assert isinstance(term, func_d.ReturnOp)
+
+
+def test_duplicate_function_rejected():
+    b = IRBuilder()
+    with b.func("f"):
+        pass
+    with pytest.raises(IRError):
+        b.module.add(b.module.get("f").__class__("f"))
+
+
+def test_operand_must_be_value():
+    b = IRBuilder()
+    with b.func("f"):
+        with pytest.raises(IRError):
+            arith.BinaryOp("add", 3, 4)  # raw Python ints
+
+
+def test_type_mismatch_rejected():
+    b = IRBuilder()
+    with b.func("f"):
+        x = b.index(1)
+        y = b.f64(1.0)
+        with pytest.raises(IRError):
+            arith.BinaryOp("add", x, y)
+
+
+def test_store_type_checked():
+    b = IRBuilder()
+    with b.func("f"):
+        arr = b.alloc(F64, 10, "a")
+        i = b.index(0)
+        v = b.i64(3)
+        with pytest.raises(IRError):
+            memref.StoreOp(v, arr, i)
+
+
+def test_loop_with_iter_args():
+    b = IRBuilder()
+    with b.func("f", result_types=[F64]):
+        z = b.f64(0.0)
+        with b.for_(0, 10, iter_args=[z]) as loop:
+            b.yield_([b.add(loop.args[0], 1.0)])
+        b.ret([loop.results[0]])
+    verify(b.module)
+
+
+def test_verifier_catches_bad_yield_arity():
+    b = IRBuilder()
+    with b.func("f", result_types=[F64]):
+        z = b.f64(0.0)
+        with b.for_(0, 10, iter_args=[z]) as loop:
+            b.yield_([])  # wrong arity
+        b.ret([loop.results[0]])
+    with pytest.raises(VerificationError):
+        verify(b.module)
+
+
+def test_verifier_catches_wrong_return_type():
+    b = IRBuilder()
+    with b.func("f", result_types=[F64]):
+        b.ret([b.i64(1)])
+    with pytest.raises(VerificationError):
+        verify(b.module)
+
+
+def test_verifier_catches_unknown_callee():
+    b = IRBuilder()
+    with b.func("f"):
+        b.call("ghost")
+    with pytest.raises(VerificationError):
+        verify(b.module)
+
+
+def test_verifier_catches_call_arity():
+    b = IRBuilder()
+    with b.func("g", [INDEX], [], ["x"]):
+        pass
+    with b.func("f"):
+        b.call("g", [])
+    with pytest.raises(VerificationError):
+        verify(b.module)
+
+
+def test_verifier_if_arm_types():
+    b = IRBuilder()
+    with b.func("f", result_types=[INDEX]):
+        c = b.true()
+        h = b.if_(c, [INDEX])
+        with h.then():
+            b.yield_([b.index(1)])
+        with h.else_():
+            b.yield_([b.index(2)])
+        b.ret([h.results[0]])
+    verify(b.module)
+
+
+def test_verifier_rejects_use_before_def():
+    b = IRBuilder()
+    with b.func("f"):
+        with b.for_(0, 4) as loop:
+            pass
+        # use the loop IV outside its region
+        b.insert(arith.BinaryOp("add", loop.op.induction_var, b.index(1)))
+    with pytest.raises(VerificationError):
+        verify(b.module)
+
+
+def test_block_rejects_ops_after_terminator():
+    block = Block()
+    block.append(scf.YieldOp([]))
+    with pytest.raises(IRError):
+        block.append(scf.YieldOp([]))
+
+
+def test_while_loop_builds_and_verifies():
+    b = IRBuilder()
+    with b.func("f", [INDEX], [INDEX], ["n"]) as fn:
+        wh = b.while_([fn.args[0]])
+        with wh.before() as (cur,):
+            b.condition(b.cmp("gt", cur, 0), [cur])
+        with wh.body() as (cur,):
+            b.yield_([b.sub(cur, 1)])
+        b.ret([wh.results[0]])
+    verify(b.module)
+
+
+def test_printer_includes_dialect_ops():
+    b = IRBuilder()
+    edge_t = StructType("edge", (("src", I64),))
+    with b.func("main"):
+        edges = b.ralloc(edge_t, 8, "edges")
+        with b.for_(0, 8) as loop:
+            b.load(edges, loop.iv, field="src")
+            b.prefetch(edges, loop.iv, count=2)
+    text = print_module(b.module)
+    assert "remotable.alloc" in text
+    assert "rmem.load" in text
+    assert "rmem.prefetch" in text
+    assert "scf.for %i" in text
+
+
+def test_remote_builder_dispatch():
+    b = IRBuilder()
+    with b.func("main"):
+        local = b.alloc(F64, 4, "l")
+        remote = b.ralloc(F64, 4, "r")
+        i = b.index(0)
+        l1 = b.load(local, i)
+        l2 = b.load(remote, i)
+    assert isinstance(l1.producer, memref.LoadOp)
+    assert isinstance(l2.producer, rmem.RLoadOp)
+
+
+def test_clone_preserves_structure_and_independence():
+    b = IRBuilder()
+    with b.func("f", result_types=[F64]):
+        arr = b.alloc(F64, 16, "a")
+        z = b.f64(0.0)
+        with b.for_(0, 16, iter_args=[z]) as loop:
+            v = b.load(arr, loop.iv)
+            b.yield_([b.add(loop.args[0], v)])
+        b.ret([loop.results[0]])
+    clone = clone_module(b.module)
+    verify(clone)
+    assert print_module(clone) == print_module(b.module)
+    # mutation of the clone does not affect the original
+    clone.get("f").attrs["offloaded"] = True
+    assert not b.module.get("f").attrs.get("offloaded")
+
+
+def test_clone_remaps_all_values():
+    b = IRBuilder()
+    with b.func("f", [MemRefType(F64)], [], ["a"]) as fn:
+        with b.for_(0, 4) as loop:
+            b.load(fn.args[0], loop.iv)
+    clone = clone_module(b.module)
+    orig_vals = {fn_arg.uid for fn_arg in b.module.get("f").args}
+    for op in clone.get("f").walk():
+        for v in op.operands:
+            assert v.uid not in orig_vals

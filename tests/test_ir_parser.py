@@ -1,0 +1,141 @@
+"""IR parser tests: print -> parse -> print round-trips."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import IRBuilder, print_module, verify
+from repro.ir.parser import parse_module, parse_type
+from repro.ir.types import (
+    F64,
+    I64,
+    INDEX,
+    FloatType,
+    IndexType,
+    IntType,
+    MemRefType,
+    StructType,
+)
+
+
+def test_parse_scalar_types():
+    assert parse_type("index") == IndexType()
+    assert parse_type("i64") == IntType(64)
+    assert parse_type("i1") == IntType(1)
+    assert parse_type("f32") == FloatType(32)
+
+
+def test_parse_memref_types():
+    assert parse_type("memref<f64>") == MemRefType(F64)
+    assert parse_type("rmemref<i64>") == MemRefType(I64, remote=True)
+
+
+def test_parse_struct_type():
+    t = parse_type("!edge<src: i64, w: f64>")
+    assert isinstance(t, StructType)
+    assert t.name == "edge"
+    assert t.field_type("w") == F64
+
+
+def test_parse_bad_type():
+    with pytest.raises(IRError):
+        parse_type("banana")
+
+
+def _roundtrip(module):
+    text = print_module(module)
+    reparsed = parse_module(text)
+    verify(reparsed)
+    assert print_module(reparsed) == text
+    return reparsed
+
+
+def test_roundtrip_simple_function():
+    b = IRBuilder()
+    with b.func("f", [INDEX], [INDEX], ["x"]) as fn:
+        y = b.add(fn.args[0], 1)
+        b.ret([y])
+    _roundtrip(b.module)
+
+
+def test_roundtrip_loop_with_iter_args():
+    b = IRBuilder()
+    with b.func("main", result_types=[F64]):
+        arr = b.alloc(F64, 16, "arr")
+        z = b.f64(0.0)
+        with b.for_(0, 16, iter_args=[z]) as loop:
+            v = b.load(arr, loop.iv)
+            b.yield_([b.add(loop.args[0], v)])
+        b.ret([loop.results[0]])
+    _roundtrip(b.module)
+
+
+def test_roundtrip_if():
+    b = IRBuilder()
+    with b.func("main", result_types=[INDEX]):
+        c = b.cmp("lt", b.index(1), 2)
+        h = b.if_(c, [INDEX])
+        with h.then():
+            b.yield_([b.index(1)])
+        with h.else_():
+            b.yield_([b.index(2)])
+        b.ret([h.results[0]])
+    _roundtrip(b.module)
+
+
+def test_roundtrip_parallel():
+    b = IRBuilder()
+    with b.func("main"):
+        arr = b.alloc(F64, 16, "arr")
+        with b.parallel(0, 16, num_threads=4) as loop:
+            b.store(1.0, arr, loop.iv)
+    _roundtrip(b.module)
+
+
+def test_roundtrip_remote_dialects():
+    from repro.memsim.cost_model import CostModel
+    from repro.transforms import convert_to_remote, insert_prefetches
+    from repro.workloads import make_graph_workload
+
+    module = make_graph_workload(num_edges=32, num_nodes=8).build_module()
+    convert_to_remote(module, ["edges", "nodes"])
+    insert_prefetches(module, CostModel())
+    _roundtrip(module)
+
+
+def test_reparsed_module_executes_identically():
+    from repro.baselines import NativeMemory
+    from repro.memsim.cost_model import CostModel
+    from repro.runtime import Interpreter
+    from repro.workloads import make_graph_workload
+
+    wl = make_graph_workload(num_edges=200, num_nodes=50)
+    module = wl.build_module()
+    text = print_module(module)
+    reparsed = parse_module(text)
+    cost = CostModel()
+    a = Interpreter(module, NativeMemory(cost, 1 << 24), wl.data_init).run()
+    b = Interpreter(reparsed, NativeMemory(cost, 1 << 24), wl.data_init).run()
+    assert a.results == b.results
+    assert a.elapsed_ns == b.elapsed_ns
+
+
+def test_parse_rejects_undefined_value():
+    text = """module @m {
+  func @f() {
+    %0 = arith.binary(%ghost, %ghost) {kind = 'add'} : index
+    func.return()
+  }
+}"""
+    with pytest.raises(IRError):
+        parse_module(text)
+
+
+def test_parse_rejects_unknown_op():
+    text = """module @m {
+  func @f() {
+    made.up()
+    func.return()
+  }
+}"""
+    with pytest.raises(IRError):
+        parse_module(text)

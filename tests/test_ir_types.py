@@ -1,0 +1,72 @@
+"""IR type-system tests."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.types import (
+    BoolType,
+    F64,
+    FloatType,
+    FuncType,
+    I64,
+    INDEX,
+    IntType,
+    MemRefType,
+    StructType,
+)
+
+
+def test_scalar_sizes():
+    assert INDEX.byte_size == 8
+    assert I64.byte_size == 8
+    assert IntType(16).byte_size == 2
+    assert F64.byte_size == 8
+    assert FloatType(32).byte_size == 4
+    assert BoolType.byte_size == 1
+
+
+def test_invalid_widths():
+    with pytest.raises(IRError):
+        IntType(7)
+    with pytest.raises(IRError):
+        FloatType(16)
+
+
+def test_struct_layout():
+    s = StructType("edge", (("src", I64), ("dst", I64), ("w", F64)))
+    assert s.byte_size == 24
+    assert s.field_offset("src") == 0
+    assert s.field_offset("dst") == 8
+    assert s.field_offset("w") == 16
+    assert s.field_type("w") == F64
+    assert s.field_names() == ["src", "dst", "w"]
+
+
+def test_struct_unknown_field():
+    s = StructType("p", (("x", F64),))
+    with pytest.raises(IRError):
+        s.field_type("y")
+    with pytest.raises(IRError):
+        s.field_offset("y")
+
+
+def test_struct_duplicate_field_rejected():
+    with pytest.raises(IRError):
+        StructType("p", (("x", F64), ("x", I64)))
+
+
+def test_memref_remote_variant():
+    t = MemRefType(F64)
+    assert not t.remote
+    r = t.as_remote()
+    assert r.remote
+    assert r.elem == F64
+    assert str(t) == "memref<f64>"
+    assert str(r) == "rmemref<f64>"
+    assert t != r
+
+
+def test_types_compare_structurally():
+    assert MemRefType(F64) == MemRefType(F64)
+    assert StructType("a", (("x", I64),)) == StructType("a", (("x", I64),))
+    assert FuncType((I64,), (F64,)) == FuncType((I64,), (F64,))

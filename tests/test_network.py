@@ -1,0 +1,54 @@
+"""Network simulator tests."""
+
+import pytest
+
+from repro.memsim.network import Network, TransferKind
+
+
+def test_sync_read_advances_clock(network, clock, cost):
+    ns = network.read(4096)
+    assert ns == pytest.approx(cost.one_sided_ns(4096))
+    assert clock.now == pytest.approx(ns)
+
+
+def test_two_sided_read_costs_more(cost, clock):
+    net = Network(cost, clock)
+    one = net.read(1024, one_sided=True)
+    two = net.read(1024, one_sided=False)
+    assert two > one
+
+
+def test_stats_accumulate(network):
+    network.read(100)
+    network.write(50)
+    assert network.stats.bytes_read == 100
+    assert network.stats.bytes_written == 50
+    assert network.stats.messages == 2
+    assert network.stats.total_bytes == 150
+    assert network.stats.by_kind[TransferKind.ONE_SIDED_READ] == 100
+
+
+def test_async_read_returns_future_time(network, clock, cost):
+    ready = network.read_async(4096)
+    # only the issue cost is charged now
+    assert clock.now == pytest.approx(cost.cpu_op_ns)
+    assert ready >= cost.one_sided_ns(4096)
+
+
+def test_async_reads_share_link_bandwidth(network, cost):
+    r1 = network.read_async(1 << 20)
+    r2 = network.read_async(1 << 20)
+    # the second transfer queues behind the first on the wire
+    assert r2 >= r1 + cost.transfer_ns(1 << 20) * 0.99
+
+
+def test_async_write_counts_as_written(network):
+    network.write_async(256)
+    assert network.stats.bytes_written == 256
+
+
+def test_rpc_charges_round_trip(network, clock, cost):
+    ns = network.rpc(128, 64)
+    assert ns >= cost.rpc_ns
+    assert clock.now == pytest.approx(ns)
+    assert network.stats.by_kind[TransferKind.RPC] == 192

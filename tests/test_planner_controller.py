@@ -1,0 +1,139 @@
+"""Section-planner and controller tests (the Fig. 1 iterative flow)."""
+
+import pytest
+
+from repro.baselines import FastSwap, NativeMemory
+from repro.cache.config import Structure
+from repro.core import MiraController, MiraPlan, compile_program, run_on_baseline, run_plan
+from repro.core.section_planner import plan_sections
+from repro.memsim.cost_model import CostModel
+from repro.workloads import make_graph_workload
+
+
+@pytest.fixture(scope="module")
+def graph_wl():
+    return make_graph_workload(num_edges=2000, num_nodes=600)
+
+
+@pytest.fixture(scope="module")
+def swap_profile(graph_wl):
+    cost = CostModel()
+    local = graph_wl.footprint_bytes() // 3
+    src = graph_wl.build_module()
+    compiled = compile_program(src, MiraPlan.swap_only(), cost, instrument=True)
+    result = run_plan(compiled, cost, local, graph_wl.data_init)
+    return src, result, cost, local
+
+
+def test_planner_separates_edge_and_node_sections(swap_profile):
+    src, result, cost, local = swap_profile
+    plan = plan_sections(src, cost, local, result.profiler, fraction=0.1)
+    by_objs = {tuple(sp.object_names): sp for sp in plan.sections}
+    assert ("edges",) in by_objs
+    assert ("nodes",) in by_objs
+    edges = by_objs[("edges",)]
+    nodes = by_objs[("nodes",)]
+    # sequential edges: direct-mapped, big lines, small section
+    assert edges.config.structure is Structure.DIRECT
+    assert edges.config.line_size >= 1024
+    # indirect nodes: set-associative, small lines, most of the memory
+    assert nodes.config.structure is Structure.SET_ASSOCIATIVE
+    assert nodes.config.line_size <= 128
+    assert nodes.config.size_bytes > edges.config.size_bytes
+
+
+def test_planner_respects_budget(swap_profile):
+    src, result, cost, local = swap_profile
+    plan = plan_sections(src, cost, local, result.profiler, fraction=0.1)
+    assert plan.total_section_bytes() <= local
+
+
+def test_planner_converts_selected_sites(swap_profile):
+    src, result, cost, local = swap_profile
+    plan = plan_sections(src, cost, local, result.profiler, fraction=0.1)
+    assert set(plan.converted_sites) == {"edges", "nodes"}
+
+
+def test_planner_empty_profile_gives_swap_only(swap_profile):
+    from repro.memsim.clock import VirtualClock
+    from repro.runtime.profiler import Profiler
+
+    src, _, cost, local = swap_profile
+    empty = Profiler(VirtualClock())
+    plan = plan_sections(src, cost, local, empty, fraction=0.1)
+    assert not plan.sections
+
+
+def test_plan_without_options_disables_passes(swap_profile):
+    src, result, cost, local = swap_profile
+    plan = plan_sections(src, cost, local, result.profiler, fraction=0.1)
+    stripped = plan.without_options("prefetch", "evict")
+    assert "prefetch" not in stripped.options
+    compiled = compile_program(src, stripped, cost)
+    from repro.ir.dialects import rmem
+
+    assert not [op for op in compiled.walk() if isinstance(op, rmem.PrefetchOp)]
+
+
+def test_controller_improves_over_swap_and_beats_fastswap(graph_wl):
+    cost = CostModel()
+    local = graph_wl.footprint_bytes() // 4
+    native = run_on_baseline(
+        graph_wl.build_module(),
+        NativeMemory(cost, 4 * graph_wl.footprint_bytes()),
+        graph_wl.data_init,
+    )
+    fast = run_on_baseline(
+        graph_wl.build_module(), FastSwap(cost, local), graph_wl.data_init
+    )
+    controller = MiraController(
+        graph_wl.build_module, cost, local, data_init=graph_wl.data_init,
+        max_iterations=2,
+    )
+    program = controller.optimize()
+    assert program.best_ns <= program.swap_baseline_ns
+    assert program.best_ns < fast.elapsed_ns
+    # the compiled program still computes the right answer
+    final = run_plan(program.module, cost, local, graph_wl.data_init)
+    graph_wl.verify_results(final.results)
+    # iteration history starts with the swap run and records acceptance
+    assert program.history[0].iteration == 0
+    assert program.history[0].accepted
+
+
+def test_controller_rolls_back_regressions(graph_wl):
+    """With enough local memory, swap is already near-native; if a
+    section plan regresses, the controller must keep the best (swap or
+    better) configuration."""
+    cost = CostModel()
+    local = graph_wl.footprint_bytes()  # 100% local memory
+    controller = MiraController(
+        graph_wl.build_module, cost, local, data_init=graph_wl.data_init,
+        max_iterations=2,
+    )
+    program = controller.optimize()
+    best = min(h.elapsed_ns for h in program.history if h.elapsed_ns != float("inf"))
+    assert program.best_ns == pytest.approx(best)
+
+
+def test_controller_scope_reduction_stats(graph_wl):
+    cost = CostModel()
+    local = graph_wl.footprint_bytes() // 4
+    program = MiraController(
+        graph_wl.build_module, cost, local, data_init=graph_wl.data_init,
+        max_iterations=1,
+    ).optimize()
+    assert program.functions_total >= 1
+    assert program.alloc_sites_total == 2
+    assert program.alloc_sites_selected <= program.alloc_sites_total
+
+
+def test_controller_with_size_sampling(graph_wl):
+    cost = CostModel()
+    local = graph_wl.footprint_bytes() // 4
+    program = MiraController(
+        graph_wl.build_module, cost, local, data_init=graph_wl.data_init,
+        max_iterations=1, sample_sizes=True,
+    ).optimize()
+    final = run_plan(program.module, cost, local, graph_wl.data_init)
+    graph_wl.verify_results(final.results)

@@ -1,0 +1,82 @@
+"""Profiler unit tests (the section 4.1 machinery)."""
+
+import pytest
+
+from repro.memsim.clock import VirtualClock
+from repro.runtime.profiler import FunctionProfile, Profiler, runtime_ns
+
+
+def test_runtime_ns_excludes_exec_categories():
+    breakdown = {
+        "compute": 100.0,
+        "dram": 50.0,
+        "dram_stream": 25.0,
+        "profiling": 5.0,
+        "miss_wait": 40.0,
+        "hit_overhead": 10.0,
+    }
+    assert runtime_ns(breakdown) == pytest.approx(50.0)
+
+
+def test_enter_exit_attribution():
+    clock = VirtualClock()
+    prof = Profiler(clock)
+    prof.enter("main")
+    clock.advance(100.0, "compute")
+    prof.enter("child")
+    clock.advance(50.0, "compute")
+    clock.advance(30.0, "miss_wait")
+    prof.exit("child")
+    clock.advance(20.0, "compute")
+    prof.exit("main")
+    main = prof.functions["main"]
+    child = prof.functions["child"]
+    assert child.inclusive_ns == pytest.approx(80.0)
+    assert child.exclusive_ns == pytest.approx(80.0)
+    assert child.exclusive_runtime_ns == pytest.approx(30.0)
+    assert main.inclusive_ns == pytest.approx(200.0)
+    assert main.exclusive_ns == pytest.approx(120.0)
+    assert main.exclusive_runtime_ns == pytest.approx(0.0)
+
+
+def test_overhead_ratio():
+    p = FunctionProfile("f", calls=1, exclusive_ns=150.0, exclusive_runtime_ns=50.0)
+    assert p.overhead_ratio == pytest.approx(0.5)  # 50 runtime / 100 exec
+    zero = FunctionProfile("g")
+    assert zero.overhead_ratio == 0.0
+
+
+def test_worst_functions_ranking():
+    clock = VirtualClock()
+    prof = Profiler(clock)
+    prof.functions["a"] = FunctionProfile(
+        "a", calls=1, exclusive_ns=100.0, exclusive_runtime_ns=90.0
+    )
+    prof.functions["b"] = FunctionProfile(
+        "b", calls=1, exclusive_ns=100.0, exclusive_runtime_ns=10.0
+    )
+    prof.functions["c"] = FunctionProfile(
+        "c", calls=1, exclusive_ns=100.0, exclusive_runtime_ns=0.0
+    )
+    assert prof.worst_functions(0.1) == ["a"]
+    assert prof.worst_functions(1.0) == ["a", "b"]  # c has no overhead
+
+
+def test_largest_allocations_selection():
+    clock = VirtualClock()
+    prof = Profiler(clock)
+    prof.record_allocation("s1", "big", 1000, "main")
+    prof.record_allocation("s2", "small", 10, "main")
+    prof.record_allocation("s3", "other", 500, "helper")
+    assert prof.largest_allocations(0.1) == ["big"]
+    assert prof.largest_allocations(0.1, functions=["helper"]) == ["other"]
+
+
+def test_regions():
+    clock = VirtualClock()
+    prof = Profiler(clock)
+    prof.region_begin("measured")
+    clock.advance(42.0, "compute")
+    prof.region_end("measured")
+    assert prof.regions["measured"] == pytest.approx(42.0)
+    prof.region_end("never_started")  # tolerated

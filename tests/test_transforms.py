@@ -1,0 +1,325 @@
+"""Compiler-pass tests: conversion, prefetch, hints, batching, read/write
+optimization, elision, offload."""
+
+import pytest
+
+from repro.analysis.alias import AliasAnalysis
+from repro.ir import IRBuilder, print_module, verify
+from repro.ir.dialects import memref, remotable, rmem, scf
+from repro.ir.types import F64, I64, INDEX, MemRefType, StructType
+from repro.memsim.cost_model import CostModel
+from repro.transforms import (
+    apply_offload,
+    apply_readwrite_optimization,
+    combine_prefetches,
+    convert_to_remote,
+    elide_dereferences,
+    fuse_adjacent_loops,
+    insert_eviction_hints,
+    insert_prefetches,
+)
+from repro.transforms.prefetch import estimate_iteration_ns, prefetch_distance
+
+
+def _graph_module(num_edges=128, num_nodes=16):
+    b = IRBuilder()
+    edge_t = StructType("edge", (("src", I64), ("w", F64)))
+    with b.func("main", result_types=[F64]):
+        edges = b.alloc(edge_t, num_edges, "edges")
+        nodes = b.alloc(F64, num_nodes, "nodes")
+        z = b.f64(0.0)
+        with b.for_(0, num_edges, iter_args=[z]) as loop:
+            s = b.cast(b.load(edges, loop.iv, field="src"), INDEX)
+            v = b.load(nodes, s)
+            b.store(b.add(v, 1.0), nodes, s)
+            b.yield_([b.add(loop.args[0], b.load(edges, loop.iv, field="w"))])
+        b.ret([loop.results[0]])
+    verify(b.module)
+    return b.module
+
+
+def _ops(module, cls):
+    return [op for op in module.walk() if isinstance(op, cls)]
+
+
+# -- convert_to_remote -------------------------------------------------------------
+
+
+def test_convert_retypes_allocs_and_accesses():
+    m = _graph_module()
+    converted = convert_to_remote(m, ["edges", "nodes"])
+    assert set(converted) == {"edges", "nodes"}
+    assert len(_ops(m, remotable.RAllocOp)) == 2
+    assert not _ops(m, memref.AllocOp)
+    assert len(_ops(m, rmem.RLoadOp)) == 3
+    assert len(_ops(m, rmem.RStoreOp)) == 1
+    verify(m)
+
+
+def test_convert_partial_selection():
+    m = _graph_module()
+    convert_to_remote(m, ["edges"])
+    assert len(_ops(m, remotable.RAllocOp)) == 1
+    assert len(_ops(m, memref.AllocOp)) == 1
+    # nodes accesses stay local
+    assert len(_ops(m, memref.LoadOp)) == 1
+    assert len(_ops(m, memref.StoreOp)) == 1
+    verify(m)
+
+
+def test_convert_unknown_name_is_noop():
+    m = _graph_module()
+    assert convert_to_remote(m, ["ghost"]) == []
+    assert not _ops(m, remotable.RAllocOp)
+
+
+def test_convert_widens_aliased_selection():
+    b = IRBuilder()
+    with b.func("main"):
+        a = b.alloc(F64, 8, "a")
+        c = b.alloc(F64, 8, "c")
+        picked = b.select(b.true(), a, c)
+        b.load(picked, 0)
+    converted = convert_to_remote(b.module, ["a"])
+    # c aliases the same pointer, so it must be converted too (soundness)
+    assert set(converted) == {"a", "c"}
+    verify(b.module)
+
+
+def test_convert_marks_remotable_functions():
+    b = IRBuilder()
+    ref = MemRefType(F64)
+    with b.func("reader", [ref], [F64], ["a"]) as fn:
+        b.ret([b.load(fn.args[0], 0)])
+    with b.func("main", result_types=[F64]):
+        arr = b.alloc(F64, 8, "arr")
+        b.ret([b.call("reader", [arr], [F64]).results[0]])
+    convert_to_remote(b.module, ["arr"])
+    assert b.module.get("reader").is_remotable
+    verify(b.module)
+
+
+# -- prefetch -----------------------------------------------------------------------
+
+
+def test_prefetch_inserted_for_sequential_and_indirect():
+    m = _graph_module()
+    convert_to_remote(m, ["edges", "nodes"])
+    n = insert_prefetches(m, CostModel())
+    assert n >= 2
+    prefetches = _ops(m, rmem.PrefetchOp)
+    assert prefetches
+    # the chained stage-1 load exists and is marked
+    staged = [
+        op for op in _ops(m, rmem.RLoadOp) if op.attrs.get("prefetch_stage")
+    ]
+    assert staged
+    verify(m)
+
+
+def test_prefetch_distance_scales_inversely_with_iteration_time():
+    cost = CostModel()
+    m1 = _graph_module()
+    loop = [op for op in m1.walk() if isinstance(op, scf.ForOp)][0]
+    d_small = prefetch_distance(loop, cost)
+    slow_cost = cost.with_overrides(dram_access_ns=10_000.0)
+    d_slow = prefetch_distance(loop, slow_cost)
+    assert d_slow <= d_small
+    assert estimate_iteration_ns(loop, slow_cost) > estimate_iteration_ns(loop, cost)
+
+
+def test_prefetch_skips_local_objects():
+    m = _graph_module()
+    convert_to_remote(m, ["nodes"])  # edges stay local
+    insert_prefetches(m, CostModel())
+    for p in _ops(m, rmem.PrefetchOp):
+        assert p.ref.type.remote
+
+
+# -- eviction hints ------------------------------------------------------------------
+
+
+def test_eviction_hints_for_streaming_and_last_access():
+    m = _graph_module()
+    convert_to_remote(m, ["edges", "nodes"])
+    n = insert_eviction_hints(m)
+    assert n >= 1
+    hints = _ops(m, rmem.EvictHintOp)
+    assert any(h.mode == "trailing" for h in hints)
+    # whole-object hint after the loop (last access in function)
+    assert any(h.mode == "exact" for h in hints)
+    assert _ops(m, rmem.FlushOp)
+    verify(m)
+
+
+# -- batching -----------------------------------------------------------------------
+
+
+def _amm_module():
+    b = IRBuilder()
+    with b.func("main", result_types=[F64, F64]):
+        arr = b.alloc(F64, 64, "arr")
+        z1 = b.f64(0.0)
+        with b.for_(0, 64, iter_args=[z1]) as l1:
+            b.yield_([b.add(l1.args[0], b.load(arr, l1.iv))])
+        big = b.f64(-1e30)
+        with b.for_(0, 64, iter_args=[big]) as l2:
+            b.yield_([b.max(l2.args[0], b.load(arr, l2.iv))])
+        b.ret([l1.results[0], l2.results[0]])
+    verify(b.module)
+    return b.module
+
+
+def test_fuse_adjacent_loops_preserves_semantics():
+    from repro.baselines import NativeMemory
+    from repro.runtime import Interpreter
+
+    m = _amm_module()
+
+    def init(name, mrv):
+        mrv.fill([float(i) for i in range(64)])
+
+    before = Interpreter(m.clone(), NativeMemory(CostModel(), 1 << 20), init).run()
+    fused = fuse_adjacent_loops(m)
+    assert fused == 1
+    verify(m)
+    loops = [op for op in m.get("main").walk() if isinstance(op, scf.ForOp)]
+    assert len(loops) == 1
+    after = Interpreter(m, NativeMemory(CostModel(), 1 << 20), init).run()
+    assert after.results == before.results
+
+
+def test_combine_adjacent_prefetch_runs():
+    b = IRBuilder()
+    with b.func("main"):
+        a = b.ralloc(F64, 64, "a")
+        c = b.ralloc(F64, 64, "c")
+        with b.for_(0, 64) as loop:
+            b.prefetch(a, loop.iv, count=2)
+            b.prefetch(c, loop.iv, count=2)
+            b.load(a, loop.iv)
+            b.prefetch(c, loop.iv, count=2)  # separated: stays alone
+            b.load(c, loop.iv)
+    created = combine_prefetches(b.module)
+    assert created == 1
+    batches = _ops(b.module, rmem.BatchPrefetchOp)
+    assert len(batches) == 1
+    assert len(batches[0].counts) == 2
+    assert len(_ops(b.module, rmem.PrefetchOp)) == 1
+    verify(b.module)
+
+
+# -- read/write optimization -----------------------------------------------------------
+
+
+def test_readonly_loop_gets_discard():
+    b = IRBuilder()
+    with b.func("main", result_types=[F64]):
+        arr = b.alloc(F64, 64, "arr")
+        z = b.f64(0.0)
+        with b.for_(0, 64, iter_args=[z]) as loop:
+            b.yield_([b.add(loop.args[0], b.load(arr, loop.iv))])
+        b.ret([loop.results[0]])
+    convert_to_remote(b.module, ["arr"])
+    flags = apply_readwrite_optimization(b.module)
+    assert flags["arr"]["discard_after"]
+    assert _ops(b.module, rmem.DiscardOp)
+    verify(b.module)
+
+
+def test_writeonly_loop_gets_no_fetch_flag():
+    b = IRBuilder()
+    with b.func("main"):
+        arr = b.alloc(F64, 64, "out")
+        with b.for_(0, 64) as loop:
+            b.store(1.0, arr, loop.iv)
+    convert_to_remote(b.module, ["out"])
+    flags = apply_readwrite_optimization(b.module)
+    assert flags["out"]["write_no_fetch"]
+
+
+def test_no_discard_when_object_used_later():
+    b = IRBuilder()
+    with b.func("main", result_types=[F64]):
+        arr = b.alloc(F64, 64, "arr")
+        z = b.f64(0.0)
+        with b.for_(0, 64, iter_args=[z]) as loop:
+            b.yield_([b.add(loop.args[0], b.load(arr, loop.iv))])
+        v = b.load(arr, 0)  # later use
+        b.ret([b.add(loop.results[0], v)])
+    convert_to_remote(b.module, ["arr"])
+    flags = apply_readwrite_optimization(b.module)
+    assert not flags["arr"]["discard_after"]
+
+
+# -- dereference elision -----------------------------------------------------------------
+
+
+def test_elision_requires_prefetch():
+    m = _graph_module()
+    convert_to_remote(m, ["edges", "nodes"])
+    elided = elide_dereferences(m)  # no prefetch pass ran
+    assert elided == []
+
+
+def test_elision_marks_sequential_prefetched_accesses():
+    m = _graph_module()
+    convert_to_remote(m, ["edges", "nodes"])
+    insert_prefetches(m, CostModel())
+    elided = elide_dereferences(m)
+    assert "edges" in elided
+    native_loads = [
+        op
+        for op in _ops(m, rmem.RLoadOp)
+        if op.attrs.get("native") and not op.attrs.get("prefetch_stage")
+    ]
+    assert native_loads
+
+
+def test_same_element_second_access_elided():
+    m = _graph_module()
+    convert_to_remote(m, ["edges", "nodes"])
+    insert_prefetches(m, CostModel())
+    elide_dereferences(m)
+    stores = _ops(m, rmem.RStoreOp)
+    # nodes[s] store follows nodes[s] load in the same iteration
+    assert any(s.attrs.get("native") for s in stores)
+
+
+# -- offload ---------------------------------------------------------------------------
+
+
+def _offload_module():
+    b = IRBuilder()
+    ref = MemRefType(F64)
+    with b.func("reduce", [ref], [F64], ["a"]) as fn:
+        z = b.f64(0.0)
+        with b.for_(0, 64, iter_args=[z]) as loop:
+            b.yield_([b.add(loop.args[0], b.load(fn.args[0], loop.iv))])
+        b.ret([loop.results[0]])
+    with b.func("main", result_types=[F64]):
+        arr = b.alloc(F64, 64, "arr")
+        b.ret([b.call("reduce", [arr], [F64]).results[0]])
+    verify(b.module)
+    convert_to_remote(b.module, ["arr"])
+    return b.module
+
+
+def test_explicit_offload_marks_function():
+    m = _offload_module()
+    decisions = apply_offload(m, CostModel(), functions=["reduce"])
+    assert decisions[0].offload
+    assert m.get("reduce").is_offloaded
+
+
+def test_offload_rejects_non_candidate():
+    b = IRBuilder()
+    ref = MemRefType(F64)  # local memref parameter: not remote-capable
+    with b.func("f", [ref], [], ["a"]) as fn:
+        b.store(1.0, fn.args[0], 0)
+    with b.func("main"):
+        arr = b.alloc(F64, 8, "arr")
+        b.call("f", [arr])
+    decisions = apply_offload(b.module, CostModel(), functions=["f"])
+    assert not decisions[0].offload
+    assert not b.module.get("f").is_offloaded
