@@ -11,6 +11,7 @@ benchmark session (results are deterministic: virtual time, seeded data).
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 from repro.bench.harness import (
@@ -19,6 +20,7 @@ from repro.bench.harness import (
     effective_ns,
     mira_point,
     native_time_ns,
+    sweep_systems,
     system_point,
 )
 from repro.bench.reporting import format_series, format_sweep_table
@@ -47,32 +49,37 @@ def record(fig: str, text: str) -> str:
     return text
 
 
+def sweep_workers() -> int:
+    """Process count for parallel sweeps: the ``--workers`` pytest option
+    (exported by benchmarks/conftest.py) or the ``REPRO_WORKERS`` env var;
+    0/1 means serial."""
+    try:
+        return int(os.environ.get("REPRO_WORKERS", "0"))
+    except ValueError:
+        return 0
+
+
 def run_sweep(
     workload,
     ratios,
     systems=("fastswap", "leap", "aifm", "mira"),
     max_iterations: int = 2,
     num_threads: int = 1,
+    workers: int | None = None,
 ) -> Sweep:
+    if workers is None:
+        workers = sweep_workers()
     native = cached_native_ns(workload)
-    sweep = Sweep(workload.name, native)
-    for ratio in ratios:
-        for system in systems:
-            if system == "mira":
-                point, _ = mira_point(
-                    workload,
-                    COST,
-                    ratio,
-                    native,
-                    max_iterations=max_iterations,
-                    num_threads=num_threads,
-                )
-            else:
-                point = system_point(
-                    workload, system, COST, ratio, native, num_threads
-                )
-            sweep.add(point)
-    return sweep
+    return sweep_systems(
+        workload,
+        COST,
+        ratios,
+        systems=systems,
+        max_iterations=max_iterations,
+        num_threads=num_threads,
+        workers=workers,
+        native_ns=native,
+    )
 
 
 def profile_swap(workload, local_bytes: int):

@@ -1,0 +1,27 @@
+"""Benchmark-suite options.
+
+``pytest benchmarks --workers 4`` fans independent sweep points out to a
+process pool (see ``repro.bench.harness.sweep_systems``).  The value is
+exported through ``REPRO_WORKERS`` so worker selection lives in one place
+(``common.sweep_workers``) and standalone scripts behave the same way.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=None,
+        help="process-pool size for figure sweeps (default: REPRO_WORKERS or serial)",
+    )
+
+
+def pytest_configure(config):
+    workers = config.getoption("--workers")
+    if workers is not None:
+        os.environ["REPRO_WORKERS"] = str(workers)

@@ -47,6 +47,11 @@ class AIFM(MemorySystem):
         self._chunk_bytes: dict[int, int] = {}
         self.swap_stats = SectionStats()
         self.failed: bool = False
+        #: obj_id -> (ObjectInfo, chunk_bytes, ObjectStats); ids are never
+        #: reused, so entries stay valid (per-dereference path)
+        self._obj_cache: dict[int, tuple] = {}
+        self._deref_ns = cost.aifm_deref_ns
+        self._miss_extra_ns = cost.aifm_miss_extra_ns
 
     # -- allocation: metadata is charged up front ----------------------------
 
@@ -82,9 +87,15 @@ class AIFM(MemorySystem):
         is_write: bool,
         native: bool = False,
     ) -> None:
-        obj = self.address_space.get(obj_id)
-        chunk_size = self._chunk_bytes[obj_id]
-        ostats = self.stats.object(obj_id)
+        entry = self._obj_cache.get(obj_id)
+        if entry is None:
+            entry = (
+                self.address_space.get(obj_id),
+                self._chunk_bytes[obj_id],
+                self.stats.object(obj_id),
+            )
+            self._obj_cache[obj_id] = entry
+        obj, chunk_size, ostats = entry
         first = offset // chunk_size
         last = (offset + max(size, 1) - 1) // chunk_size
         for chunk in range(first, last + 1):
@@ -92,19 +103,22 @@ class AIFM(MemorySystem):
             self._deref(obj, chunk, chunk_size, is_write, ostats)
 
     def _deref(self, obj, chunk: int, chunk_size: int, is_write: bool, ostats):
-        self.swap_stats.accesses += 1
+        stats = self.swap_stats
+        stats.accesses += 1
         # hot path: every dereference pays the library overhead
-        self.clock.advance(self.cost.aifm_deref_ns, "aifm_deref")
-        self.swap_stats.overhead_ns += self.cost.aifm_deref_ns
+        deref_ns = self._deref_ns
+        self.clock.advance(deref_ns, "aifm_deref")
+        stats.overhead_ns += deref_ns
         key = (obj.obj_id, chunk)
-        if key in self._resident:
-            self._resident.move_to_end(key)
+        resident = self._resident
+        if key in resident:
+            resident.move_to_end(key)
             if is_write:
-                self._resident[key] = True
-            self.swap_stats.hits += 1
+                resident[key] = True
+            stats.hits += 1
             return
         # miss: evict until the whole object fits, then fetch it entirely
-        self.swap_stats.misses += 1
+        stats.misses += 1
         ostats.misses += 1
         budget = self.local_bytes_available()
         if budget < chunk_size:
@@ -116,9 +130,10 @@ class AIFM(MemorySystem):
         while self._resident_bytes + chunk_size > budget:
             self._evict_one()
         wait = self.network.read(chunk_size, one_sided=True)
-        self.clock.advance(self.cost.aifm_miss_extra_ns, "aifm_miss")
-        self.swap_stats.miss_wait_ns += wait + self.cost.aifm_miss_extra_ns
-        self._resident[key] = is_write
+        miss_extra = self._miss_extra_ns
+        self.clock.advance(miss_extra, "aifm_miss")
+        stats.miss_wait_ns += wait + miss_extra
+        resident[key] = is_write
         self._resident_bytes += chunk_size
 
     def _evict_one(self) -> None:

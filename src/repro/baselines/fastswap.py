@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.cache.interface import MemorySystem
 from repro.cache.swap import SwapSection
+from repro.memsim.address import PAGE_SIZE
 from repro.memsim.clock import VirtualClock
 from repro.memsim.resources import SerialResource
 
@@ -33,6 +34,11 @@ class FastSwap(MemorySystem):
             extra_fault_ns=self._extra_fault_ns(),
             fault_lock=self.fault_lock,
         )
+        #: obj_id -> (ObjectInfo, ObjectStats, base_va, size limit); ids are
+        #: never reused, so entries stay valid for the system's lifetime
+        self._obj_cache: dict[int, tuple] = {}
+        #: skip the per-access hook unless a subclass (Leap) overrides it
+        self._has_after_hook = type(self)._after_access is not FastSwap._after_access
 
     def _extra_fault_ns(self) -> float:
         return 0.0
@@ -50,13 +56,29 @@ class FastSwap(MemorySystem):
         is_write: bool,
         native: bool = False,
     ) -> None:
-        obj = self.address_space.get(obj_id)
-        ostats = self.stats.object(obj_id)
+        entry = self._obj_cache.get(obj_id)
+        if entry is None:
+            obj = self.address_space.get(obj_id)
+            entry = (obj, self.stats.object(obj_id), obj.base_va, max(obj.size, 1))
+            self._obj_cache[obj_id] = entry
+        obj, ostats, base_va, limit = entry
         ostats.accesses += 1
-        hit = self.swap.access(obj.va_of(offset), size, is_write, obj_id)
+        # inlined obj.va_of + single-page fast path (most accesses are
+        # fine-grained and land on one page)
+        if 0 <= offset < limit:
+            va = base_va + offset
+        else:
+            va = obj.va_of(offset)  # raises the canonical bounds error
+        last = (va + (size if size > 0 else 1) - 1) // PAGE_SIZE
+        first = va // PAGE_SIZE
+        if first == last:
+            hit = self.swap._access_page(first, is_write, obj_id)
+        else:
+            hit = self.swap.access(va, size, is_write, obj_id)
         if not hit:
             ostats.misses += 1
-        self._after_access(obj, offset, size, hit)
+        if self._has_after_hook:
+            self._after_access(obj, offset, size, hit)
 
     def _after_access(self, obj, offset: int, size: int, hit: bool) -> None:
         """Hook for Leap's prefetcher."""

@@ -38,6 +38,10 @@ class MajorityTrendPrefetcher:
 
     def __init__(self) -> None:
         self._history: deque[int] = deque(maxlen=HISTORY_LEN)
+        #: inter-access strides, maintained incrementally alongside the
+        #: history (always == pairwise deltas of ``_history``); rebuilding
+        #: both lists per fault dominated Leap's wall-clock cost
+        self._deltas: deque[int] = deque(maxlen=HISTORY_LEN - 1)
         self._window = MIN_PREFETCH
         self._outstanding: set[int] = set()
         self._useful = 0
@@ -49,18 +53,20 @@ class MajorityTrendPrefetcher:
         # repeated accesses within one page are a single history event
         if page == self._last_page:
             return
+        history = self._history
+        if history:
+            self._deltas.append(page - history[-1])
         self._last_page = page
-        self._history.append(page)
+        history.append(page)
         if page in self._outstanding:
             self._outstanding.discard(page)
             self._useful += 1
 
     def majority_stride(self) -> int | None:
         """The majority inter-access page stride, or None."""
-        pages = list(self._history)
-        if len(pages) < 2:
+        if not self._deltas:
             return None
-        deltas = [b - a for a, b in zip(pages, pages[1:])]
+        deltas = list(self._deltas)
         for w in DETECT_WINDOWS:
             window = deltas[-w:]
             if len(window) < 2:

@@ -8,11 +8,14 @@ recorded as ``failed`` points rather than exceptions.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.baselines import AIFM, FastSwap, Leap, NativeMemory
 from repro.core import MiraController, run_on_baseline, run_plan
+from repro.core.pipeline import footprint_bytes as _module_footprint
 from repro.errors import AllocationError
+from repro.ir.core import Module
 from repro.memsim.cost_model import CostModel
 from repro.runtime.interpreter import RunResult
 from repro.workloads.base import Workload
@@ -22,6 +25,38 @@ BASELINE_SYSTEMS = {
     "leap": Leap,
     "aifm": AIFM,
 }
+
+
+class ModuleMemo:
+    """Per-sweep cache of a workload's built module and footprint.
+
+    Baseline runs never mutate IR, so they can all share one built module
+    (``.module``); the Mira pipeline rewrites the module in place, so it
+    gets a clone of the pristine copy via ``.fresh``.  This turns the
+    O(points) repeated ``build_module()``/``footprint_bytes()`` calls of a
+    sweep into one build.
+    """
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+        self._module: Module | None = None
+        self._footprint: int | None = None
+
+    @property
+    def module(self) -> Module:
+        if self._module is None:
+            self._module = self.workload.build_module()
+        return self._module
+
+    def fresh(self) -> Module:
+        """A private copy for pipelines that mutate the module."""
+        return self.module.clone()
+
+    @property
+    def footprint_bytes(self) -> int:
+        if self._footprint is None:
+            self._footprint = _module_footprint(self.module)
+        return self._footprint
 
 
 @dataclass
@@ -37,22 +72,38 @@ class ExperimentPoint:
         return self.normalized_perf is None
 
 
+def _point_key(system: str, ratio: float) -> tuple[str, float]:
+    return (system, round(ratio, 9))
+
+
 @dataclass
 class Sweep:
-    """One figure's data: points indexed by (system, ratio)."""
+    """One figure's data: points indexed by (system, ratio).
+
+    ``points`` keeps insertion order for plotting; ``get`` is O(1) via a
+    dict keyed on ``(system, round(ratio, 9))``.
+    """
 
     name: str
     native_ns: float
     points: list[ExperimentPoint] = field(default_factory=list)
+    _index: dict[tuple[str, float], ExperimentPoint] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        for p in self.points:
+            self._index[_point_key(p.system, p.local_ratio)] = p
 
     def add(self, point: ExperimentPoint) -> None:
         self.points.append(point)
+        self._index[_point_key(point.system, point.local_ratio)] = point
 
     def get(self, system: str, ratio: float) -> ExperimentPoint:
-        for p in self.points:
-            if p.system == system and abs(p.local_ratio - ratio) < 1e-9:
-                return p
-        raise KeyError((system, ratio))
+        try:
+            return self._index[_point_key(system, ratio)]
+        except KeyError:
+            raise KeyError((system, ratio)) from None
 
     def series(self, system: str) -> list[ExperimentPoint]:
         return [p for p in self.points if p.system == system]
@@ -65,11 +116,15 @@ def effective_ns(result: RunResult) -> float:
     return result.profiler.regions.get("measured", result.elapsed_ns)
 
 
-def native_time_ns(workload: Workload, cost: CostModel) -> float:
+def native_time_ns(
+    workload: Workload, cost: CostModel, memo: ModuleMemo | None = None
+) -> float:
     """Native all-local run; also validates workload correctness."""
+    if memo is None:
+        memo = ModuleMemo(workload)
     result = run_on_baseline(
-        workload.build_module(),
-        NativeMemory(cost, 2 * workload.footprint_bytes() + (1 << 20)),
+        memo.module,
+        NativeMemory(cost, 2 * memo.footprint_bytes + (1 << 20)),
         workload.data_init,
         entry=workload.entry,
     )
@@ -84,14 +139,17 @@ def system_point(
     local_ratio: float,
     native_ns: float,
     num_threads: int = 1,
+    memo: ModuleMemo | None = None,
 ) -> ExperimentPoint:
     """Run one baseline system at one local-memory ratio."""
-    local = max(4096, int(workload.footprint_bytes() * local_ratio))
+    if memo is None:
+        memo = ModuleMemo(workload)
+    local = max(4096, int(memo.footprint_bytes * local_ratio))
     cls = BASELINE_SYSTEMS[system_name]
     kwargs = {} if system_name == "aifm" else {"num_threads": num_threads}
     try:
         result = run_on_baseline(
-            workload.build_module(),
+            memo.module,
             cls(cost, local, **kwargs),
             workload.data_init,
             entry=workload.entry,
@@ -111,12 +169,17 @@ def mira_point(
     max_iterations: int = 2,
     sample_sizes: bool = False,
     num_threads: int = 1,
+    memo: ModuleMemo | None = None,
 ) -> tuple[ExperimentPoint, "MiraController | None"]:
     """Run the full Mira controller at one ratio; returns the point and
     the compiled program (for deep-dive figures)."""
-    local = max(4096, int(workload.footprint_bytes() * local_ratio))
+    if memo is None:
+        memo = ModuleMemo(workload)
+    local = max(4096, int(memo.footprint_bytes * local_ratio))
+    # the transform pipeline mutates modules, so the controller builds
+    # from clones of the memo's pristine copy
     controller = MiraController(
-        workload.build_module,
+        memo.fresh,
         cost,
         local,
         data_init=workload.data_init,
@@ -146,6 +209,59 @@ def mira_point(
     return point, program
 
 
+def _one_point(
+    workload: Workload,
+    system: str,
+    cost: CostModel,
+    ratio: float,
+    native_ns: float,
+    max_iterations: int,
+    num_threads: int,
+    memo: ModuleMemo,
+) -> ExperimentPoint:
+    if system == "mira":
+        point, _ = mira_point(
+            workload,
+            cost,
+            ratio,
+            native_ns,
+            max_iterations=max_iterations,
+            num_threads=num_threads,
+            memo=memo,
+        )
+        return point
+    return system_point(
+        workload, system, cost, ratio, native_ns, num_threads, memo=memo
+    )
+
+
+def _sweep_job(job: tuple) -> ExperimentPoint:
+    """Worker-process entry: rebuild the workload from its registry name
+    and run one (system, ratio) point.  Module-level so it pickles."""
+    (name, params, system, ratio, cost, native_ns, max_iterations, num_threads) = job
+    from repro.workloads import make_workload
+
+    workload = make_workload(name, **params)
+    return _one_point(
+        workload,
+        system,
+        cost,
+        ratio,
+        native_ns,
+        max_iterations,
+        num_threads,
+        ModuleMemo(workload),
+    )
+
+
+def _parallelizable(workload: Workload) -> bool:
+    """Workloads cross process boundaries by name: their closures do not
+    pickle, so only registered ones can fan out."""
+    from repro.workloads import WORKLOAD_FACTORIES
+
+    return workload.name in WORKLOAD_FACTORIES
+
+
 def sweep_systems(
     workload: Workload,
     cost: CostModel,
@@ -153,24 +269,47 @@ def sweep_systems(
     systems: list[str] = ("fastswap", "leap", "aifm", "mira"),
     max_iterations: int = 2,
     num_threads: int = 1,
+    workers: int | None = None,
+    native_ns: float | None = None,
 ) -> Sweep:
-    """The standard figure shape: systems x local-memory ratios."""
-    native_ns = native_time_ns(workload, cost)
+    """The standard figure shape: systems x local-memory ratios.
+
+    ``workers > 1`` runs the independent (system, ratio) points in a
+    process pool.  The native baseline is computed once up front (or
+    passed in via ``native_ns``) and shared with every worker; results
+    are collected in submission order, so the sweep's points are
+    identical to a serial run's.  Falls back to serial for unregistered
+    (ad-hoc) workloads, whose closures cannot be shipped to another
+    process.
+    """
+    memo = ModuleMemo(workload)
+    if native_ns is None:
+        native_ns = native_time_ns(workload, cost, memo=memo)
     sweep = Sweep(workload.name, native_ns)
-    for ratio in ratios:
-        for system in systems:
-            if system == "mira":
-                point, _ = mira_point(
-                    workload,
-                    cost,
-                    ratio,
-                    native_ns,
-                    max_iterations=max_iterations,
-                    num_threads=num_threads,
-                )
-            else:
-                point = system_point(
-                    workload, system, cost, ratio, native_ns, num_threads
-                )
-            sweep.add(point)
+    jobs = [(ratio, system) for ratio in ratios for system in systems]
+    if workers and workers > 1 and len(jobs) > 1 and _parallelizable(workload):
+        payloads = [
+            (
+                workload.name,
+                dict(workload.params),
+                system,
+                ratio,
+                cost,
+                native_ns,
+                max_iterations,
+                num_threads,
+            )
+            for ratio, system in jobs
+        ]
+        with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+            for point in pool.map(_sweep_job, payloads):
+                sweep.add(point)
+        return sweep
+    for ratio, system in jobs:
+        sweep.add(
+            _one_point(
+                workload, system, cost, ratio, native_ns,
+                max_iterations, num_threads, memo,
+            )
+        )
     return sweep

@@ -15,13 +15,13 @@ class DirectMappedSection(CacheSection):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        self._num_lines = self.config.num_lines
         self._slots: dict[int, Line] = {}
 
     def _slot(self, key: LineKey) -> int:
-        obj_id, idx = key
         # mix the object id in so two objects sharing a section do not
         # collide on low indices systematically
-        return (idx + obj_id * 0x9E3779B1) % self.config.num_lines
+        return (key[1] + key[0] * 0x9E3779B1) % self._num_lines
 
     def lookup(self, key: LineKey) -> Line | None:
         line = self._slots.get(self._slot(key))

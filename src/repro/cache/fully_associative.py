@@ -17,6 +17,7 @@ class FullyAssociativeSection(CacheSection):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        self._num_lines = self.config.num_lines
         self._lines: OrderedDict[LineKey, Line] = OrderedDict()
         self._evictable: OrderedDict[LineKey, None] = OrderedDict()
 
@@ -34,7 +35,7 @@ class FullyAssociativeSection(CacheSection):
         return self._lines.get(key)
 
     def choose_victim(self, key: LineKey) -> Line | None:
-        if len(self._lines) < self.config.num_lines:
+        if len(self._lines) < self._num_lines:
             return None
         if self._evictable:
             victim_key = next(iter(self._evictable))

@@ -42,6 +42,12 @@ class CacheManager(MemorySystem):
         #: object is allocated (plans are made before the program runs)
         self.pending_assignment: dict[str, str] = {}
         self._access_counter = 0
+        #: memoized (obj_id, thread) -> (ObjectInfo, section, ObjectStats,
+        #: native?) for the per-access path: object lookup, the f-string
+        #: per-thread section probe, and the native-promise set test are
+        #: all costly per access.  Invalidated whenever sections,
+        #: assignments, native promises, or object lifetimes change.
+        self._resolved: dict[tuple[int, int], tuple] = {}
 
     # -- clock plumbing (thread simulation swaps the active clock) -----------
 
@@ -79,6 +85,7 @@ class CacheManager(MemorySystem):
         return section
 
     def _open_one(self, config: SectionConfig) -> CacheSection:
+        self._resolved.clear()
         if config.name in self._sections:
             raise ConfigError(f"section {config.name!r} already open")
         committed = sum(s.config.size_bytes for s in self._sections.values())
@@ -101,6 +108,7 @@ class CacheManager(MemorySystem):
         ``name`` may be a base name covering per-thread clones; all clones
         are closed together.
         """
+        self._resolved.clear()
         names = self._resolve_group(name)
         if not names:
             raise ConfigError(f"no open section named {name!r}")
@@ -126,6 +134,7 @@ class CacheManager(MemorySystem):
         old = self._assignment.get(obj_id)
         if old == section_name:
             return
+        self._resolved.clear()
         obj = self.address_space.get(obj_id)
         self.swap.drop_object(obj_id)
         if old is not None:
@@ -136,6 +145,22 @@ class CacheManager(MemorySystem):
         self._assignment[obj_id] = section_name
 
     def section_of(self, obj_id: int) -> CacheSection | None:
+        entry = self._resolved.get((obj_id, self.current_thread))
+        if entry is None:
+            entry = self._resolve(obj_id)
+        return entry[1]
+
+    def _resolve(self, obj_id: int) -> tuple:
+        entry = (
+            self.address_space.get(obj_id),
+            self._resolve_section(obj_id),
+            self.stats.object(obj_id),
+            obj_id in self._native_objs,
+        )
+        self._resolved[(obj_id, self.current_thread)] = entry
+        return entry
+
+    def _resolve_section(self, obj_id: int) -> CacheSection | None:
         name = self._assignment.get(obj_id)
         if name is None:
             return None
@@ -164,20 +189,36 @@ class CacheManager(MemorySystem):
         is_write: bool,
         native: bool = False,
     ) -> None:
-        obj = self.address_space.get(obj_id)
-        if offset < 0 or offset + max(size, 1) > obj.size:
+        entry = self._resolved.get((obj_id, self.current_thread))
+        if entry is None:
+            entry = self._resolve(obj_id)
+        obj, section, ostats, obj_native = entry
+        if offset < 0 or offset + (size if size > 0 else 1) > obj.size:
             raise MemoryError_(
                 f"access [{offset}, {offset + size}) out of bounds for "
                 f"object {obj.name or obj_id} ({obj.size} B)"
             )
-        ostats = self.stats.object(obj_id)
         ostats.accesses += 1
-        section = self.section_of(obj_id)
+        sz = size if size > 0 else 1
         if section is None:
-            hit = self.swap.access(obj.va_of(offset), size, is_write, obj_id)
+            va = obj.va_of(offset)
+            first = va // PAGE_SIZE
+            if (va + sz - 1) // PAGE_SIZE == first:
+                # single-page fast path (fine-grained accesses dominate)
+                hit = self.swap._access_page(first, is_write, obj_id)
+            else:
+                hit = self.swap.access(va, size, is_write, obj_id)
         else:
-            native = native or obj_id in self._native_objs
-            hit = section.access(obj_id, offset, size, is_write, native=native)
+            ls = section._line_size
+            first = offset // ls
+            if (offset + sz - 1) // ls == first:
+                hit = section._access_line(
+                    (obj_id, first), is_write, native or obj_native
+                )
+            else:
+                hit = section.access(
+                    obj_id, offset, size, is_write, native=native or obj_native
+                )
         if not hit:
             ostats.misses += 1
         # peak-metadata tracking is O(sections); sample it
@@ -186,17 +227,25 @@ class CacheManager(MemorySystem):
             self._track_metadata()
 
     def prefetch(self, obj_id: int, offset: int, size: int) -> None:
-        obj = self.address_space.get(obj_id)
-        section = self.section_of(obj_id)
+        entry = self._resolved.get((obj_id, self.current_thread))
+        if entry is None:
+            entry = self._resolve(obj_id)
+        obj, section = entry[0], entry[1]
         if section is None:
             for page in self.swap.pages_of(obj.va_of(offset), size):
                 self.swap.prefetch(page, obj_id)
             return
         # never let one prefetch call flood the section: cap the window at
         # half its capacity so in-flight lines cannot evict each other
-        window = max(1, section.config.num_lines // 2)
-        for key in section.line_keys(obj_id, offset, size)[:window]:
-            section.prefetch_line(key)
+        if size <= 0:
+            size = 1
+        ls = section._line_size
+        first = offset // ls
+        last = (offset + size - 1) // ls
+        window = section._prefetch_window
+        if last - first >= window:
+            last = first + window - 1
+        section.prefetch_range(obj_id, first, last)
 
     def flush(self, obj_id: int, offset: int, size: int) -> None:
         obj = self.address_space.get(obj_id)
@@ -219,20 +268,24 @@ class CacheManager(MemorySystem):
     def evict_hint_trailing(self, obj_id: int, offset: int) -> None:
         """Streaming hint: the line before ``offset`` will not be touched
         again; mark it evictable."""
-        section = self.section_of(obj_id)
+        entry = self._resolved.get((obj_id, self.current_thread))
+        if entry is None:
+            entry = self._resolve(obj_id)
+        obj, section = entry[0], entry[1]
         if section is None:
-            va = self.address_space.get(obj_id).va_of(offset)
+            va = obj.va_of(offset)
             prev = va - PAGE_SIZE
-            if prev >= self.address_space.get(obj_id).base_va:
+            if prev >= obj.base_va:
                 self.swap.evict_hint(prev, 1)
             return
-        prev = offset - section.config.line_size
+        ls = section._line_size
+        prev = offset - ls
         if prev >= 0:
-            for key in section.line_keys(obj_id, prev, 1):
-                # flush first so the hinted line is clean when eviction
-                # picks it (write-back leaves the critical path)
-                section.flush_line(key)
-                section.evict_hint_line(key)
+            key = (obj_id, prev // ls)
+            # flush first so the hinted line is clean when eviction
+            # picks it (write-back leaves the critical path)
+            section.flush_line(key)
+            section.evict_hint_line(key)
 
     def discard(self, obj_id: int) -> None:
         obj = self.address_space.get(obj_id)
@@ -265,6 +318,7 @@ class CacheManager(MemorySystem):
             section.install_prefetched(key, ready)
 
     def set_native(self, obj_id: int, native: bool) -> None:
+        self._resolved.clear()
         if native:
             self._native_objs.add(obj_id)
         else:
@@ -277,6 +331,7 @@ class CacheManager(MemorySystem):
 
     def _on_free(self, obj: ObjectInfo) -> None:
         self.swap.drop_object(obj.obj_id)
+        self._resolved.clear()
         name = self._assignment.get(obj.obj_id)
         if name is not None:
             for n in self._resolve_group(name):

@@ -23,7 +23,7 @@ from repro.memsim.network import Network
 LineKey = tuple[int, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class Line:
     """State of one resident cache line."""
 
@@ -53,7 +53,19 @@ class CacheSection(abc.ABC):
         self.network = network
         self.stats = SectionStats()
         self._use_counter = 0
+        # hot-path constants, resolved once (the access path runs per
+        # program memory access)
         self._hit_overhead = cost.hit_overhead_ns(config.structure.value)
+        self._insert_overhead = cost.insert_overhead_ns
+        self._evict_overhead = cost.evict_overhead_ns
+        self._line_size = config.line_size
+        self._write_no_fetch = config.write_no_fetch
+        self._transfer_bytes = config.transfer_bytes
+        self._one_sided = config.one_sided
+        self._metadata_free = config.metadata_free
+        #: prefetch window the manager caps a single hint at (half the
+        #: capacity so in-flight lines cannot evict each other)
+        self._prefetch_window = max(1, config.num_lines // 2)
 
     # -- placement policy (subclass responsibility) --------------------------
 
@@ -88,14 +100,17 @@ class CacheSection(abc.ABC):
     # -- geometry ------------------------------------------------------------
 
     def line_index(self, offset: int) -> int:
-        return offset // self.config.line_size
+        return offset // self._line_size
 
     def line_keys(self, obj_id: int, offset: int, size: int) -> list[LineKey]:
         """Keys of every line a ``[offset, offset+size)`` access touches."""
         if size <= 0:
             size = 1
-        first = offset // self.config.line_size
-        last = (offset + size - 1) // self.config.line_size
+        ls = self._line_size
+        first = offset // ls
+        last = (offset + size - 1) // ls
+        if first == last:
+            return [(obj_id, first)]
         return [(obj_id, i) for i in range(first, last + 1)]
 
     # -- timed data path ------------------------------------------------------
@@ -109,14 +124,22 @@ class CacheSection(abc.ABC):
         the dereference: no lookup overhead is charged on hits (section
         4.4), though a genuinely absent line still faults and fetches.
         """
+        if size <= 0:
+            size = 1
+        ls = self._line_size
+        first = offset // ls
+        last = (offset + size - 1) // ls
+        if first == last:  # element accesses touch a single line
+            return self._access_line((obj_id, first), is_write, native)
         all_hit = True
-        for key in self.line_keys(obj_id, offset, size):
-            hit = self._access_line(key, is_write, native)
+        for i in range(first, last + 1):
+            hit = self._access_line((obj_id, i), is_write, native)
             all_hit = all_hit and hit
         return all_hit
 
     def _access_line(self, key: LineKey, is_write: bool, native: bool) -> bool:
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         self._use_counter += 1
         line = self.lookup(key)
         if line is not None:
@@ -124,49 +147,62 @@ class CacheSection(abc.ABC):
             line.evictable = False
             if is_write:
                 line.dirty = True
-            if line.ready_at > self.clock.now:
-                # prefetched but still in flight: wait the remainder
-                wait = line.ready_at - self.clock.now
-                self.clock.wait_until(line.ready_at, "miss_wait")
-                self.stats.miss_wait_ns += wait
-                self.stats.prefetch_hits += 1
-                self.stats.misses += 1
-                line.ready_at = 0.0
-                return False
+            ready_at = line.ready_at
+            if ready_at:
+                clock = self.clock
+                if ready_at > clock.now:
+                    # prefetched but still in flight: wait the remainder
+                    wait = ready_at - clock.now
+                    clock.wait_until(ready_at, "miss_wait")
+                    stats.miss_wait_ns += wait
+                    stats.prefetch_hits += 1
+                    stats.misses += 1
+                    line.ready_at = 0.0
+                    return False
             if native:
-                self.stats.native_accesses += 1
+                stats.native_accesses += 1
             else:
-                self.clock.advance(self._hit_overhead, "hit_overhead")
-                self.stats.overhead_ns += self._hit_overhead
-            self.stats.hits += 1
+                overhead = self._hit_overhead
+                self.clock.advance(overhead, "hit_overhead")
+                stats.overhead_ns += overhead
+            stats.hits += 1
             return True
         # miss: synchronous fetch (skipped for whole-line writes in
         # write-no-fetch sections, section 4.5)
-        self.stats.misses += 1
+        stats.misses += 1
         self._make_room(key)
-        if is_write and self.config.write_no_fetch:
+        if is_write and self._write_no_fetch:
             fetch_ns = 0.0
         else:
             fetch_ns = self._fetch_sync()
-        self.stats.miss_wait_ns += fetch_ns
+        stats.miss_wait_ns += fetch_ns
         new = Line(key=key, dirty=is_write, last_use=self._use_counter)
-        new.metadata_free = self.config.metadata_free
+        new.metadata_free = self._metadata_free
         self.install(new)
-        ins = self.cost.insert_overhead_ns
+        ins = self._insert_overhead
         self.clock.advance(ins, "insert_overhead")
-        self.stats.overhead_ns += ins
+        stats.overhead_ns += ins
         return False
 
     def prefetch_line(self, key: LineKey) -> None:
         """Issue an asynchronous fetch of one line if absent."""
-        if self.peek(key) is not None:
-            return
+        if self.peek(key) is None:
+            self._prefetch_absent(key)
+
+    def prefetch_range(self, obj_id: int, first: int, last: int) -> None:
+        """Prefetch line indices ``first..last`` inclusive (hot path: most
+        hinted lines are already resident, so peek-and-skip dominates)."""
+        peek = self.peek
+        for i in range(first, last + 1):
+            key = (obj_id, i)
+            if peek(key) is None:
+                self._prefetch_absent(key)
+
+    def _prefetch_absent(self, key: LineKey) -> None:
         self._make_room(key)
-        ready = self.network.read_async(
-            self.config.transfer_bytes, one_sided=self.config.one_sided
-        )
+        ready = self.network.read_async(self._transfer_bytes, one_sided=self._one_sided)
         line = Line(key=key, ready_at=ready, last_use=self._use_counter)
-        line.metadata_free = self.config.metadata_free
+        line.metadata_free = self._metadata_free
         self.install(line)
         self.stats.prefetches_issued += 1
 
@@ -181,7 +217,7 @@ class CacheSection(abc.ABC):
             return
         self._make_room(key)
         line = Line(key=key, ready_at=ready_at, last_use=self._use_counter)
-        line.metadata_free = self.config.metadata_free
+        line.metadata_free = self._metadata_free
         self.install(line)
         self.stats.prefetches_issued += 1
 
@@ -189,9 +225,7 @@ class CacheSection(abc.ABC):
         """Asynchronously write back a dirty line (keeps it resident)."""
         line = self.peek(key)
         if line is not None and line.dirty:
-            self.network.write_async(
-                self.config.transfer_bytes, one_sided=self.config.one_sided
-            )
+            self.network.write_async(self._transfer_bytes, one_sided=self._one_sided)
             line.dirty = False
             self.stats.writebacks += 1
 
@@ -229,22 +263,18 @@ class CacheSection(abc.ABC):
         self.stats.evictions += 1
         if victim.evictable:
             self.stats.hinted_evictions += 1
-        ev = self.cost.evict_overhead_ns
+        ev = self._evict_overhead
         self.clock.advance(ev, "evict_overhead")
         self.stats.overhead_ns += ev
         if victim.dirty:
             self._writeback(victim)
 
     def _writeback(self, line: Line) -> None:
-        self.network.write_async(
-            self.config.transfer_bytes, one_sided=self.config.one_sided
-        )
+        self.network.write_async(self._transfer_bytes, one_sided=self._one_sided)
         self.stats.writebacks += 1
 
     def _fetch_sync(self) -> float:
-        return self.network.read(
-            self.config.transfer_bytes, one_sided=self.config.one_sided
-        )
+        return self.network.read(self._transfer_bytes, one_sided=self._one_sided)
 
     # -- reporting -----------------------------------------------------------
 

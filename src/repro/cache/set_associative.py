@@ -18,13 +18,18 @@ class SetAssociativeSection(CacheSection):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._num_sets = max(1, self.config.num_lines // self.config.ways)
+        self._ways = self.config.ways
         self._sets: dict[int, OrderedDict[LineKey, Line]] = {}
         self._count = 0
 
     def _set_of(self, key: LineKey) -> OrderedDict[LineKey, Line]:
-        obj_id, idx = key
-        set_idx = (idx + obj_id * 0x9E3779B1) % self._num_sets
-        return self._sets.setdefault(set_idx, OrderedDict())
+        set_idx = (key[1] + key[0] * 0x9E3779B1) % self._num_sets
+        bucket = self._sets.get(set_idx)
+        if bucket is None:
+            # .get + insert: setdefault would build a throwaway OrderedDict
+            # on every probe of this per-access path
+            bucket = self._sets[set_idx] = OrderedDict()
+        return bucket
 
     def lookup(self, key: LineKey) -> Line | None:
         bucket = self._set_of(key)
@@ -38,7 +43,7 @@ class SetAssociativeSection(CacheSection):
 
     def choose_victim(self, key: LineKey) -> Line | None:
         bucket = self._set_of(key)
-        if len(bucket) < self.config.ways:
+        if len(bucket) < self._ways:
             return None
         # evictable-first, then LRU (section 4.5, eviction hints)
         for line in bucket.values():

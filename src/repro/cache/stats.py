@@ -71,10 +71,18 @@ class MemoryStats:
     metadata_bytes: int = 0
 
     def section(self, name: str) -> SectionStats:
-        return self.per_section.setdefault(name, SectionStats())
+        # .get + conditional insert: setdefault would construct a throwaway
+        # SectionStats on every call of this per-access path
+        s = self.per_section.get(name)
+        if s is None:
+            s = self.per_section[name] = SectionStats()
+        return s
 
     def object(self, obj_id: int) -> ObjectStats:
-        return self.per_object.setdefault(obj_id, ObjectStats())
+        s = self.per_object.get(obj_id)
+        if s is None:
+            s = self.per_object[obj_id] = ObjectStats()
+        return s
 
     def total(self) -> SectionStats:
         out = SectionStats()

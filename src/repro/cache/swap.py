@@ -24,7 +24,7 @@ from repro.memsim.cost_model import CostModel
 from repro.memsim.network import Network
 
 
-@dataclass
+@dataclass(slots=True)
 class PageEntry:
     page: int
     obj_id: int
@@ -58,6 +58,8 @@ class SwapSection:
         self._pages: OrderedDict[int, PageEntry] = OrderedDict()
         self._evictable: OrderedDict[int, None] = OrderedDict()
         self.stats = SectionStats()
+        #: fault-path constant, resolved once (per-miss path)
+        self._fault_ns = cost.page_fault_ns + extra_fault_ns
 
     # -- geometry ------------------------------------------------------------
 
@@ -71,42 +73,53 @@ class SwapSection:
 
     def access(self, va: int, size: int, is_write: bool, obj_id: int = 0) -> bool:
         """Touch ``[va, va+size)``; returns True iff all pages were hits."""
+        if size <= 0:
+            size = 1
+        first = va // PAGE_SIZE
+        last = (va + size - 1) // PAGE_SIZE
+        if first == last:  # fine-grained accesses touch a single page
+            return self._access_page(first, is_write, obj_id)
         all_hit = True
-        for page in self.pages_of(va, size):
+        for page in range(first, last + 1):
             hit = self._access_page(page, is_write, obj_id)
             all_hit = all_hit and hit
         return all_hit
 
     def _access_page(self, page: int, is_write: bool, obj_id: int) -> bool:
-        self.stats.accesses += 1
-        entry = self._pages.get(page)
+        stats = self.stats
+        stats.accesses += 1
+        pages = self._pages
+        entry = pages.get(page)
         if entry is not None:
-            self._pages.move_to_end(page)
+            pages.move_to_end(page)
             if is_write:
                 entry.dirty = True
             if entry.evictable:
                 entry.evictable = False
                 self._evictable.pop(page, None)
-            if entry.ready_at > self.clock.now:
-                wait = entry.ready_at - self.clock.now
-                self.clock.wait_until(entry.ready_at, "miss_wait")
-                self.stats.miss_wait_ns += wait
-                self.stats.prefetch_hits += 1
-                self.stats.misses += 1
-                entry.ready_at = 0.0
-                return False
-            self.stats.hits += 1
+            ready_at = entry.ready_at
+            if ready_at:
+                clock = self.clock
+                if ready_at > clock.now:
+                    wait = ready_at - clock.now
+                    clock.wait_until(ready_at, "miss_wait")
+                    stats.miss_wait_ns += wait
+                    stats.prefetch_hits += 1
+                    stats.misses += 1
+                    entry.ready_at = 0.0
+                    return False
+            stats.hits += 1
             return True
         # page fault: kernel path, then a one-sided page read (recorded
         # on the network so traffic accounting sees the amplification)
-        self.stats.misses += 1
+        stats.misses += 1
         self._fault_serialize()
         self._make_room()
-        fault_ns = self.cost.page_fault_ns + self.extra_fault_ns
+        fault_ns = self._fault_ns
         self.clock.advance(fault_ns, "page_fault")
         wire_ns = self.network.read(PAGE_SIZE, one_sided=True)
-        self.stats.miss_wait_ns += fault_ns + wire_ns
-        self._pages[page] = PageEntry(page=page, obj_id=obj_id, dirty=is_write)
+        stats.miss_wait_ns += fault_ns + wire_ns
+        pages[page] = PageEntry(page=page, obj_id=obj_id, dirty=is_write)
         return False
 
     def prefetch(self, page: int, obj_id: int = 0) -> None:

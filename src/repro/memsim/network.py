@@ -31,6 +31,10 @@ class TransferKind(enum.Enum):
     TWO_SIDED = "2s-msg"
     RPC = "rpc"
 
+    # members are singletons, so identity hashing is sound; Enum.__hash__
+    # is a Python-level call and shows up in per-transfer accounting
+    __hash__ = object.__hash__
+
 
 @dataclass
 class NetworkStats:
@@ -67,6 +71,12 @@ class Network:
         #: active threads sharing the link (set by the thread simulator);
         #: each sees 1/contention of the bandwidth
         self.contention: int = 1
+        # per-transfer constants, resolved once (per-access path)
+        self._bw_bpns = cost.net_bandwidth_bpns
+        self._rtt_ns = cost.net_rtt_ns
+        self._msg_ns = cost.two_sided_msg_ns
+        self._copy_bpns = cost.two_sided_copy_bpns
+        self._issue_ns = cost.cpu_op_ns
 
     # -- synchronous ops ---------------------------------------------------
 
@@ -74,7 +84,11 @@ class Network:
         """Synchronously fetch ``nbytes``; advances the clock; returns cost."""
         ns = self._latency(nbytes, one_sided)
         kind = TransferKind.ONE_SIDED_READ if one_sided else TransferKind.TWO_SIDED
-        self.stats.record(kind, nbytes, is_write=False)
+        stats = self.stats  # record() inlined: per-transfer path
+        stats.messages += 1
+        by_kind = stats.by_kind
+        by_kind[kind] = by_kind.get(kind, 0) + nbytes
+        stats.bytes_read += nbytes
         self.clock.advance(ns, "net_read")
         return ns
 
@@ -82,7 +96,11 @@ class Network:
         """Synchronously write ``nbytes`` to far memory."""
         ns = self._latency(nbytes, one_sided)
         kind = TransferKind.ONE_SIDED_WRITE if one_sided else TransferKind.TWO_SIDED
-        self.stats.record(kind, nbytes, is_write=True)
+        stats = self.stats
+        stats.messages += 1
+        by_kind = stats.by_kind
+        by_kind[kind] = by_kind.get(kind, 0) + nbytes
+        stats.bytes_written += nbytes
         self.clock.advance(ns, "net_write")
         return ns
 
@@ -91,17 +109,25 @@ class Network:
         write-back, flush hints).  Charges only issue cost now; returns the
         completion time."""
         kind = TransferKind.ONE_SIDED_WRITE if one_sided else TransferKind.TWO_SIDED
-        self.stats.record(kind, nbytes, is_write=True)
+        stats = self.stats
+        stats.messages += 1
+        by_kind = stats.by_kind
+        by_kind[kind] = by_kind.get(kind, 0) + nbytes
+        stats.bytes_written += nbytes
         ready = self._schedule(nbytes, one_sided)
-        self.clock.advance(self.cost.cpu_op_ns, "net_issue")
+        self.clock.advance(self._issue_ns, "net_issue")
         return ready
 
     def read_async(self, nbytes: int, one_sided: bool = True) -> float:
         """Issue a prefetch; returns the virtual time it will be ready."""
         kind = TransferKind.ONE_SIDED_READ if one_sided else TransferKind.TWO_SIDED
-        self.stats.record(kind, nbytes, is_write=False)
+        stats = self.stats
+        stats.messages += 1
+        by_kind = stats.by_kind
+        by_kind[kind] = by_kind.get(kind, 0) + nbytes
+        stats.bytes_read += nbytes
         ready = self._schedule(nbytes, one_sided)
-        self.clock.advance(self.cost.cpu_op_ns, "net_issue")
+        self.clock.advance(self._issue_ns, "net_issue")
         return ready
 
     def rpc(self, request_bytes: int, response_bytes: int) -> float:
@@ -118,19 +144,23 @@ class Network:
     # -- internals ---------------------------------------------------------
 
     def _latency(self, nbytes: int, one_sided: bool) -> float:
-        wire_scale = max(1, self.contention)
-        extra = self.cost.transfer_ns(nbytes) * (wire_scale - 1)
+        transfer = nbytes / self._bw_bpns
+        wire_scale = self.contention
+        extra = transfer * (wire_scale - 1) if wire_scale > 1 else 0.0
         if one_sided:
-            return self.cost.one_sided_ns(nbytes) + extra
-        return self.cost.two_sided_ns(nbytes) + extra
+            return self._rtt_ns + transfer + extra
+        return self._rtt_ns + transfer + self._msg_ns + nbytes / self._copy_bpns + extra
 
     def _schedule(self, nbytes: int, one_sided: bool) -> float:
         """Book wire time on the link starting no earlier than now; returns
         the completion time of the async transfer."""
-        start = max(self.clock.now, self._link_free_at)
-        wire = self.cost.transfer_ns(nbytes) * max(1, self.contention)
+        now = self.clock.now
+        free_at = self._link_free_at
+        start = free_at if free_at > now else now
+        scale = self.contention
+        wire = nbytes / self._bw_bpns * (scale if scale > 1 else 1)
         self._link_free_at = start + wire
-        base = self.cost.net_rtt_ns
+        base = self._rtt_ns
         if not one_sided:
-            base += self.cost.two_sided_msg_ns + nbytes / self.cost.two_sided_copy_bpns
+            base += self._msg_ns + nbytes / self._copy_bpns
         return start + base + wire

@@ -65,13 +65,21 @@ def _int_rem(a: int, b: int) -> int:
 
 
 class Interpreter:
-    """Executes one module; one instance per run."""
+    """Executes one module; one instance per run.
+
+    ``engine`` selects the execution strategy: ``"compiled"`` (default)
+    lowers each block once to specialized closures via
+    :mod:`repro.runtime.engine`; ``"reference"`` keeps the original
+    op-at-a-time tree walk.  Both produce bit-identical virtual time;
+    the ``REPRO_ENGINE`` environment variable overrides the default.
+    """
 
     def __init__(
         self,
         module: Module,
         memsys: MemorySystem,
         data_init: DataInit | None = None,
+        engine: str | None = None,
     ) -> None:
         self.module = module
         self.memsys = memsys
@@ -82,14 +90,28 @@ class Interpreter:
         self.profiler = Profiler(self.clock)
         self.instrumented = bool(module.attrs.get("profiling"))
         self._far_depth = 0
+        self._cpu_unit = self.cost.cpu_op_ns  # tracks far-mode slowdown
         self._current_fn = "<none>"
         self._dispatch = self._build_dispatch()
+        from repro.runtime.engine import ENGINES, Engine, engine_from_env
+
+        if engine is None:
+            engine = engine_from_env()
+        elif engine not in ENGINES:
+            raise InterpreterError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.engine_name = engine
+        self._engine = Engine(self) if engine == "compiled" else None
 
     # -- public API -----------------------------------------------------------
 
     def run(self, entry: str = "main", args: list | None = None) -> RunResult:
         fn = self.module.get(entry)
-        results = self._call_function(fn, args or [])
+        if self._engine is not None:
+            results = self._engine.call_function(fn, args or [])
+        else:
+            results = self._call_function(fn, args or [])
         return RunResult(
             results=results,
             elapsed_ns=self.clock.now,
@@ -431,11 +453,20 @@ class Interpreter:
             else:
                 request_bytes += 8
         self.memsys.network.rpc(request_bytes, 64)
-        self._far_depth += 1
+        self._enter_far()
         try:
             return self._call_function(fn, args)
         finally:
-            self._far_depth -= 1
+            self._exit_far()
+
+    def _enter_far(self) -> None:
+        self._far_depth += 1
+        self._cpu_unit = self.cost.cpu_op_ns * self.cost.far_cpu_slowdown
+
+    def _exit_far(self) -> None:
+        self._far_depth -= 1
+        if not self._far_depth:
+            self._cpu_unit = self.cost.cpu_op_ns
 
     # -- compute & profiling ------------------------------------------------------------
 

@@ -73,7 +73,7 @@ class Profiler:
     _region_starts: dict[str, float] = field(default_factory=dict)
 
     def _runtime_now(self) -> float:
-        return runtime_ns(self.clock._breakdown)
+        return runtime_ns(self.clock.peek_breakdown())
 
     def enter(self, name: str) -> None:
         self._stack.append(_Frame(name, self.clock.now, self._runtime_now()))

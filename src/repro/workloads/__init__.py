@@ -15,18 +15,60 @@ computation on the *same* access stream.
   (indirect arc scans + pointer chasing), SPEC MCF's access shape.
 """
 
+import inspect
+
 from repro.workloads.array_sum import make_array_sum_workload
 from repro.workloads.base import Workload
-from repro.workloads.dataframe import make_dataframe_workload
+from repro.workloads.dataframe import (
+    make_dataframe_amm_workload,
+    make_dataframe_workload,
+    make_filter_workload,
+)
 from repro.workloads.gpt2 import make_gpt2_workload
 from repro.workloads.graph import make_graph_workload
 from repro.workloads.mcf import make_mcf_workload
 
+#: workload-name -> factory; lets worker processes reconstruct a workload
+#: from ``(name, params)`` (Workload objects hold closures and cannot be
+#: pickled across a ProcessPoolExecutor)
+WORKLOAD_FACTORIES = {
+    "array_sum": make_array_sum_workload,
+    "dataframe": make_dataframe_workload,
+    "dataframe_amm": make_dataframe_amm_workload,
+    "dataframe_filter": make_filter_workload,
+    "gpt2": make_gpt2_workload,
+    "graph_traversal": make_graph_workload,
+    "mcf": make_mcf_workload,
+}
+
+
+def make_workload(name: str, **params) -> Workload:
+    """Rebuild a registered workload by name.
+
+    ``params`` may be a workload's recorded ``params`` dict; entries the
+    factory does not accept (derived values like gpt2's ``layer_bytes``)
+    are dropped.
+    """
+    try:
+        factory = WORKLOAD_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; registered: "
+            f"{sorted(WORKLOAD_FACTORIES)}"
+        ) from None
+    accepted = inspect.signature(factory).parameters
+    return factory(**{k: v for k, v in params.items() if k in accepted})
+
+
 __all__ = [
+    "WORKLOAD_FACTORIES",
     "Workload",
     "make_array_sum_workload",
+    "make_dataframe_amm_workload",
     "make_dataframe_workload",
+    "make_filter_workload",
     "make_gpt2_workload",
     "make_graph_workload",
     "make_mcf_workload",
+    "make_workload",
 ]

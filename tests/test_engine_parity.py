@@ -1,0 +1,127 @@
+"""Engine parity: the compiled engine must be bit-identical to the
+reference interpreter.
+
+The block-compiled engine (``repro/runtime/engine.py``) is a pure
+performance optimization; its contract is that every observable output --
+program results, total virtual time, and the per-category breakdown -- is
+*exactly* equal to the reference tree-walker's, on every workload and
+every memory system.  These tests run each paper workload under both
+engines (native plus all four systems at two local-memory ratios) and
+compare complete run fingerprints with ``==``: no tolerances anywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import NativeMemory
+from repro.bench.harness import BASELINE_SYSTEMS, ModuleMemo, effective_ns
+from repro.core import MiraController, run_on_baseline, run_plan
+from repro.errors import AllocationError
+from repro.memsim.cost_model import CostModel
+from repro.workloads import make_workload
+
+COST = CostModel()
+RATIOS = (0.25, 0.6)
+SYSTEMS = ("fastswap", "leap", "aifm", "mira")
+
+#: small but structurally faithful instances of the five paper workloads
+WORKLOADS: dict[str, dict] = {
+    "graph_traversal": {"num_edges": 1500, "num_nodes": 500},
+    "dataframe": {"num_rows": 2048},
+    "gpt2": {
+        "layers": 3,
+        "d_model": 64,
+        "seq_len": 32,
+        "batch": 2,
+        "passes": 1,
+        "warmup_passes": 1,
+    },
+    "mcf": {"num_nodes": 2048, "num_arcs": 2048, "iterations": 1, "chases": 32},
+    "array_sum": {"num_elems": 4096},
+}
+
+
+def _run_fingerprint(result, workload):
+    workload.verify_results(result.results)
+    return {
+        "results": list(result.results),
+        "elapsed_ns": result.elapsed_ns,
+        "effective_ns": effective_ns(result),
+        "breakdown": result.breakdown,
+    }
+
+
+def _system_fingerprint(workload, memo, system, ratio):
+    local = max(4096, int(memo.footprint_bytes * ratio))
+    if system == "mira":
+        controller = MiraController(
+            memo.fresh,
+            COST,
+            local,
+            data_init=workload.data_init,
+            entry=workload.entry,
+            max_iterations=1,
+        )
+        program = controller.optimize()
+        result = run_plan(
+            program.module, COST, local, data_init=workload.data_init,
+            entry=workload.entry,
+        )
+        return _run_fingerprint(result, workload)
+    cls = BASELINE_SYSTEMS[system]
+    try:
+        result = run_on_baseline(
+            memo.module, cls(COST, local), workload.data_init, entry=workload.entry
+        )
+    except AllocationError as e:
+        # AIFM's metadata failures (Fig. 18) must reproduce identically too
+        return {"failed": str(e)}
+    return _run_fingerprint(result, workload)
+
+
+def _fingerprint(name: str) -> dict:
+    """Everything observable about one workload under the current engine."""
+    workload = make_workload(name, **WORKLOADS[name])
+    memo = ModuleMemo(workload)
+    native = run_on_baseline(
+        memo.module,
+        NativeMemory(COST, 2 * memo.footprint_bytes + (1 << 20)),
+        workload.data_init,
+        entry=workload.entry,
+    )
+    fp = {"native": _run_fingerprint(native, workload)}
+    for ratio in RATIOS:
+        for system in SYSTEMS:
+            fp[f"{system}@{ratio}"] = _system_fingerprint(
+                workload, memo, system, ratio
+            )
+    return fp
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_engines_bit_identical(name, monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "reference")
+    reference = _fingerprint(name)
+    monkeypatch.setenv("REPRO_ENGINE", "compiled")
+    compiled = _fingerprint(name)
+    assert set(reference) == set(compiled)
+    for point in reference:
+        assert reference[point] == compiled[point], (
+            f"{name}: engines diverge at {point}"
+        )
+
+
+def test_engine_selection(monkeypatch):
+    """The env knob actually selects the engine (guards against a future
+    regression silently running reference twice)."""
+    from repro.runtime.interpreter import Interpreter
+
+    workload = make_workload("array_sum", num_elems=64)
+    module = workload.build_module()
+    monkeypatch.setenv("REPRO_ENGINE", "reference")
+    ref = Interpreter(module, NativeMemory(COST, 1 << 20), workload.data_init)
+    assert ref.engine_name == "reference" and ref._engine is None
+    monkeypatch.setenv("REPRO_ENGINE", "compiled")
+    comp = Interpreter(module, NativeMemory(COST, 1 << 20), workload.data_init)
+    assert comp.engine_name == "compiled" and comp._engine is not None
