@@ -40,8 +40,10 @@ from repro.bench.harness import (
     sweep_systems,
     system_point,
 )
+from repro.bench.harness import BASELINE_SYSTEMS
 from repro.core import run_on_baseline
 from repro.memsim.cost_model import CostModel
+from repro.obs import Tracer
 from repro.workloads import make_graph_workload
 
 COST = CostModel()
@@ -149,6 +151,51 @@ def measure_single_point(repeats: int) -> dict:
     return out
 
 
+def measure_tracing(repeats: int) -> dict:
+    """Wall-clock cost of ``repro.obs`` tracing on a fault-heavy run
+    (fastswap@0.2 on the Fig. 5 graph).
+
+    ``disabled`` is the default path -- every subsystem's ``tracer`` is
+    None and emission guards are single local ``is not None`` tests; it
+    must be indistinguishable from the pre-obs numbers in
+    ``BENCH_engine.json``.  ``enabled`` attaches a fresh Tracer per run
+    and reports the full-trace overhead per recorded event.
+    """
+    os.environ["REPRO_ENGINE"] = "compiled"
+    wl = make_graph_workload()
+    memo = ModuleMemo(wl)
+    local = max(4096, int(memo.footprint_bytes * SINGLE_RATIO))
+
+    def run(tracer=None):
+        return run_on_baseline(
+            memo.module,
+            BASELINE_SYSTEMS["fastswap"](COST, local),
+            wl.data_init,
+            entry=wl.entry,
+            tracer=tracer,
+        )
+
+    disabled = _best_of(run, repeats)
+    tracers: list[Tracer] = []
+
+    def run_traced():
+        t = Tracer()
+        tracers.append(t)
+        run(tracer=t)
+
+    enabled = _best_of(run_traced, repeats)
+    events = len(tracers[-1])
+    return {
+        "disabled_s": round(disabled, 4),
+        "enabled_s": round(enabled, 4),
+        "events": events,
+        "enabled_overhead": round(enabled / disabled, 3),
+        "ns_per_event": round((enabled - disabled) * 1e9 / events)
+        if events
+        else None,
+    }
+
+
 def measure_sweep(workers: int) -> dict:
     os.environ["REPRO_ENGINE"] = "compiled"
     wl = make_graph_workload()
@@ -202,6 +249,10 @@ def main() -> None:
     print("\nFig. 5 single-point run (both engines)...")
     report["single_point"] = measure_single_point(args.repeats)
     print(json.dumps(report["single_point"], indent=2))
+
+    print("\ntracing overhead (fastswap@0.2, disabled vs full trace)...")
+    report["tracing"] = measure_tracing(args.repeats)
+    print(json.dumps(report["tracing"], indent=2))
 
     if not args.skip_sweep:
         print(f"\nfull Fig. 5 sweep, serial vs workers={args.workers}...")

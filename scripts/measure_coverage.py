@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Statement coverage for ``src/repro`` without pytest-cov.
+
+CI measures coverage with ``pytest --cov=repro`` (see
+``.github/workflows/ci.yml``); this script exists so the recorded
+baseline can be re-measured in environments where pytest-cov is not
+installed.  It runs pytest in-process under the stdlib
+:mod:`trace` module and reports per-module and total statement coverage.
+
+The denominator is exact: executable lines are taken from each module's
+compiled code objects (``co_lines``), not from regex heuristics.  The
+numbers track pytest-cov's within a fraction of a percent.
+
+Usage::
+
+    PYTHONPATH=src python scripts/measure_coverage.py            # default fast subset
+    PYTHONPATH=src python scripts/measure_coverage.py --full     # whole tier-1 suite (slow!)
+    PYTHONPATH=src python scripts/measure_coverage.py --fail-under 70
+
+Default selection skips the slow-marked tests and the heavyweight
+cross-engine byte-comparison suites (their code paths are covered by the
+cheaper tests too); line tracing makes Python ~20x slower, so the full
+run is only worth it when updating the recorded baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import trace
+import types
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+
+#: fast, representative selection (see module docstring)
+DEFAULT_ARGS = [
+    "-q",
+    "-p", "no:cacheprovider",
+    "-m", "not slow",
+    "-k", "not bit_identical and not byte_identical and not golden",
+]
+
+
+class _FileIgnore:
+    """Replacement for ``trace.Ignore`` keyed by *filename*.
+
+    The stdlib version caches ignore decisions by bare module name, so
+    after it sees (and ignores) any stdlib ``utils``/``base``/``__init__``
+    it silently drops every later file with the same basename -- including
+    ours.  Prefix-matching the full path has no such collisions.
+    """
+
+    def __init__(self, prefixes: list[str]) -> None:
+        self._prefixes = tuple(prefixes)
+        self._cache: dict[str, int] = {}
+
+    def names(self, filename: str, modulename: str) -> int:
+        hit = self._cache.get(filename)
+        if hit is None:
+            hit = self._cache[filename] = int(
+                filename.startswith(self._prefixes)
+            )
+        return hit
+
+
+def executable_lines(path: pathlib.Path) -> set[int]:
+    """Exact executable-line set from the compiled code objects."""
+    code = compile(path.read_text(encoding="utf-8"), str(path), "exec")
+    lines: set[int] = set()
+    stack: list[types.CodeType] = [code]
+    while stack:
+        c = stack.pop()
+        for _start, _end, lineno in c.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        for const in c.co_consts:
+            if isinstance(const, types.CodeType):
+                stack.append(const)
+    # module docstrings/def lines compile to line entries; that matches
+    # what pytest-cov counts, so no further filtering
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--full", action="store_true",
+                    help="trace the whole tier-1 suite instead of the fast subset")
+    ap.add_argument("--fail-under", type=float, default=None,
+                    help="exit 1 if total coverage is below this percent")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help="also write per-module results to this JSON file")
+    args = ap.parse_args(argv)
+
+    import pytest
+
+    pytest_args = ["-q", "-p", "no:cacheprovider"] if args.full else DEFAULT_ARGS
+    tracer = trace.Trace(count=1, trace=0)
+    tracer.ignore = _FileIgnore([sys.prefix, sys.exec_prefix])
+    rc = tracer.runfunc(pytest.main, list(pytest_args))
+    if rc not in (0, pytest.ExitCode.NO_TESTS_COLLECTED):
+        print(f"pytest failed (exit {rc}); coverage numbers would be bogus")
+        return int(rc)
+
+    executed_by_file: dict[str, set[int]] = {}
+    for (filename, lineno), count in tracer.results().counts.items():
+        if count:
+            executed_by_file.setdefault(filename, set()).add(lineno)
+
+    rows = []
+    total_exec = total_hit = 0
+    for py in sorted(SRC.rglob("*.py")):
+        known = executable_lines(py)
+        if not known:
+            continue
+        hit = executed_by_file.get(str(py), set()) & known
+        total_exec += len(known)
+        total_hit += len(hit)
+        rows.append((str(py.relative_to(SRC.parent)), len(hit), len(known)))
+
+    width = max(len(name) for name, _, _ in rows)
+    print(f"\n{'module':<{width}} {'lines':>7} {'hit':>7} {'cover':>7}")
+    for name, hit, known in rows:
+        print(f"{name:<{width}} {known:>7} {hit:>7} {hit / known:>6.1%}")
+    total = total_hit / total_exec if total_exec else 0.0
+    print(f"{'TOTAL':<{width}} {total_exec:>7} {total_hit:>7} {total:>6.1%}")
+
+    if args.json:
+        args.json.write_text(json.dumps({
+            "selection": "full" if args.full else "fast-subset",
+            "total_percent": round(100 * total, 2),
+            "modules": {n: round(100 * h / k, 2) for n, h, k in rows},
+        }, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.fail_under is not None and 100 * total < args.fail_under:
+        print(f"FAIL: total coverage {100 * total:.1f}% < floor {args.fail_under}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -116,6 +116,11 @@ class AIFM(MemorySystem):
             if is_write:
                 resident[key] = True
             stats.hits += 1
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(
+                    "cache.hit", self.clock.now, sec="aifm", obj=obj.obj_id, line=chunk
+                )
             return
         # miss: evict until the whole object fits, then fetch it entirely
         stats.misses += 1
@@ -135,6 +140,17 @@ class AIFM(MemorySystem):
         stats.miss_wait_ns += wait + miss_extra
         resident[key] = is_write
         self._resident_bytes += chunk_size
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "cache.miss",
+                self.clock.now,
+                sec="aifm",
+                obj=obj.obj_id,
+                line=chunk,
+                wait=wait + miss_extra,
+                write=is_write,
+            )
 
     def _evict_one(self) -> None:
         key, dirty = self._resident.popitem(last=False)
@@ -143,6 +159,17 @@ class AIFM(MemorySystem):
         self.swap_stats.evictions += 1
         # eviction handler runs for every evicted object
         self.clock.advance(self.cost.evict_overhead_ns, "eviction")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "cache.evict",
+                self.clock.now,
+                sec="aifm",
+                obj=key[0],
+                line=key[1],
+                dirty=dirty,
+                hinted=False,
+            )
         if dirty:
             self.network.write_async(chunk_size, one_sided=True)
             self.swap_stats.writebacks += 1

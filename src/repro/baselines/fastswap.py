@@ -48,6 +48,11 @@ class FastSwap(MemorySystem):
         self.network.clock = clock
         self.swap.clock = clock
 
+    def set_tracer(self, tracer) -> None:
+        self.tracer = tracer
+        self.network.tracer = tracer
+        self.swap.tracer = tracer
+
     def access(
         self,
         obj_id: int,

@@ -46,3 +46,57 @@ def format_series(name: str, xs: list, ys: list, xlabel: str, ylabel: str) -> st
         ys_str = f"{y:>14.4f}" if isinstance(y, float) else f"{y!s:>14}"
         lines.append(f"{x!s:>14} | {ys_str}")
     return "\n".join(lines)
+
+
+def _fmt_ns(ns: float) -> str:
+    """Human-scaled virtual time (ns/us/ms/s)."""
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.3f}us"
+    return f"{ns:.0f}ns"
+
+
+def format_phase_timeline(rows: list[dict]) -> str:
+    """Table for :func:`repro.obs.report.phase_timeline` rows: one line per
+    completed ``prof.region`` span with its cache/network activity."""
+    header = (
+        f"{'phase':>16} | {'start':>10} | {'duration':>10} | "
+        f"{'hits':>8} | {'misses':>8} | {'net bytes':>10}"
+    )
+    lines = ["phase timeline", header, "-" * len(header)]
+    if not rows:
+        lines.append("(no prof.region events in trace)")
+        return "\n".join(lines)
+    for r in rows:
+        lines.append(
+            f"{r['phase']:>16} | {_fmt_ns(r['start_ns']):>10} | "
+            f"{_fmt_ns(r['duration_ns']):>10} | {r['hits']:>8} | "
+            f"{r['misses']:>8} | {r['net_bytes']:>10}"
+        )
+    return "\n".join(lines)
+
+
+def format_section_summary(rows: dict[str, dict]) -> str:
+    """Table for :func:`repro.obs.report.section_summary`: one line per
+    cache section (swap included) with aggregate hit/miss/evict counts."""
+    header = (
+        f"{'section':>16} | {'accesses':>9} | {'hits':>9} | {'misses':>8} | "
+        f"{'miss%':>6} | {'pf hits':>7} | {'evicts':>7} | {'wb':>6} | "
+        f"{'miss wait':>10}"
+    )
+    lines = ["section summary", header, "-" * len(header)]
+    if not rows:
+        lines.append("(no cache events in trace)")
+        return "\n".join(lines)
+    for sec in sorted(rows):
+        r = rows[sec]
+        lines.append(
+            f"{sec:>16} | {r['accesses']:>9} | {r['hits']:>9} | "
+            f"{r['misses']:>8} | {r['miss_rate']:>6.1%} | "
+            f"{r['prefetch_hits']:>7} | {r['evictions']:>7} | "
+            f"{r['writebacks']:>6} | {_fmt_ns(r['miss_wait_ns']):>10}"
+        )
+    return "\n".join(lines)

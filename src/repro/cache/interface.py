@@ -45,6 +45,8 @@ class MemorySystem(abc.ABC):
         self.far_node = FarMemoryNode(cost)
         self.address_space = AddressSpace()
         self.stats = MemoryStats()
+        #: attached :class:`repro.obs.Tracer`, or None (tracing disabled)
+        self.tracer = None
 
     # -- allocation --------------------------------------------------------
 
@@ -60,10 +62,24 @@ class MemorySystem(abc.ABC):
         obj = self.address_space.allocate(size, elem_size, name, alloc_site, attrs)
         self.far_node.allocate(size)
         self._on_allocate(obj)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "obj.alloc",
+                self.clock.now,
+                obj=obj.obj_id,
+                size=size,
+                name=name,
+                far_rt=self.far_node.local_allocator.round_trips,
+            )
         return obj
 
     def free(self, obj_id: int) -> None:
-        self._on_free(self.address_space.get(obj_id))
+        obj = self.address_space.get(obj_id)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit("obj.free", self.clock.now, obj=obj_id, size=obj.size)
+        self._on_free(obj)
         self.address_space.free(obj_id)
 
     # -- clock plumbing (thread simulation swaps the active clock) -----------
@@ -71,6 +87,15 @@ class MemorySystem(abc.ABC):
     def set_clock(self, clock: VirtualClock) -> None:
         self.clock = clock
         self.network.clock = clock
+
+    # -- tracing (no-op unless a tracer is attached) -------------------------
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.Tracer` (or None to detach).  Must be
+        called before the interpreter is built so runtime-side emission
+        points pick it up.  Subclasses propagate to their sections."""
+        self.tracer = tracer
+        self.network.tracer = tracer
 
     # -- the data path -------------------------------------------------------
 

@@ -58,6 +58,13 @@ class CacheManager(MemorySystem):
         for sec in self._sections.values():
             sec.clock = clock
 
+    def set_tracer(self, tracer) -> None:
+        self.tracer = tracer
+        self.network.tracer = tracer
+        self.swap.tracer = tracer
+        for sec in self._sections.values():
+            sec.tracer = tracer
+
     # -- section lifecycle ----------------------------------------------------
 
     def open_section(
@@ -95,7 +102,19 @@ class CacheManager(MemorySystem):
                 f"{committed} B already committed of {self.local_mem_bytes} B"
             )
         section = make_section(config, self.cost, self.clock, self.network)
+        section.tracer = self.tracer
         self._sections[config.name] = section
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "sec.open",
+                self.clock.now,
+                sec=config.name,
+                size=config.size_bytes,
+                line=config.line_size,
+                structure=config.structure.value,
+                ways=config.ways,
+            )
         return section
 
     def _register(self, base_name: str, obj_ids: list[int]) -> None:
@@ -112,8 +131,18 @@ class CacheManager(MemorySystem):
         names = self._resolve_group(name)
         if not names:
             raise ConfigError(f"no open section named {name!r}")
+        tr = self.tracer
         for n in names:
-            self._sections.pop(n).close()
+            sec = self._sections.pop(n)
+            sec.close()
+            if tr is not None:
+                tr.emit(
+                    "sec.close",
+                    self.clock.now,
+                    sec=n,
+                    accesses=sec.stats.accesses,
+                    misses=sec.stats.misses,
+                )
         for obj_id in [o for o, s in self._assignment.items() if s == name]:
             del self._assignment[obj_id]
             self._native_objs.discard(obj_id)
@@ -143,6 +172,15 @@ class CacheManager(MemorySystem):
                 for key in sec.line_keys(obj_id, 0, obj.size):
                     sec.drop_clean(key)
         self._assignment[obj_id] = section_name
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "sec.assign",
+                self.clock.now,
+                sec=section_name,
+                obj=obj_id,
+                prev=old if old is not None else "",
+            )
 
     def section_of(self, obj_id: int) -> CacheSection | None:
         entry = self._resolved.get((obj_id, self.current_thread))
@@ -314,6 +352,15 @@ class CacheManager(MemorySystem):
         if not missing:
             return
         ready = self.network.read_async(total_bytes, one_sided=True)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "net.batch",
+                self.clock.now,
+                lines=len(missing),
+                bytes=total_bytes,
+                ready=ready,
+            )
         for section, key in missing:
             section.install_prefetched(key, ready)
 

@@ -52,6 +52,9 @@ class CacheSection(abc.ABC):
         self.clock = clock
         self.network = network
         self.stats = SectionStats()
+        #: attached :class:`repro.obs.Tracer`, or None (tracing disabled)
+        self.tracer = None
+        self._name = config.name
         self._use_counter = 0
         # hot-path constants, resolved once (the access path runs per
         # program memory access)
@@ -158,6 +161,16 @@ class CacheSection(abc.ABC):
                     stats.prefetch_hits += 1
                     stats.misses += 1
                     line.ready_at = 0.0
+                    tr = self.tracer
+                    if tr is not None:
+                        tr.emit(
+                            "cache.prefetch_hit",
+                            clock.now,
+                            sec=self._name,
+                            obj=key[0],
+                            line=key[1],
+                            wait=wait,
+                        )
                     return False
             if native:
                 stats.native_accesses += 1
@@ -166,6 +179,15 @@ class CacheSection(abc.ABC):
                 self.clock.advance(overhead, "hit_overhead")
                 stats.overhead_ns += overhead
             stats.hits += 1
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(
+                    "cache.hit",
+                    self.clock.now,
+                    sec=self._name,
+                    obj=key[0],
+                    line=key[1],
+                )
             return True
         # miss: synchronous fetch (skipped for whole-line writes in
         # write-no-fetch sections, section 4.5)
@@ -182,6 +204,17 @@ class CacheSection(abc.ABC):
         ins = self._insert_overhead
         self.clock.advance(ins, "insert_overhead")
         stats.overhead_ns += ins
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "cache.miss",
+                self.clock.now,
+                sec=self._name,
+                obj=key[0],
+                line=key[1],
+                wait=fetch_ns,
+                write=is_write,
+            )
         return False
 
     def prefetch_line(self, key: LineKey) -> None:
@@ -205,6 +238,16 @@ class CacheSection(abc.ABC):
         line.metadata_free = self._metadata_free
         self.install(line)
         self.stats.prefetches_issued += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "cache.prefetch",
+                self.clock.now,
+                sec=self._name,
+                obj=key[0],
+                line=key[1],
+                ready=ready,
+            )
 
     def missing_keys(self, keys: list[LineKey]) -> list[LineKey]:
         """Subset of ``keys`` not resident (for batched prefetch)."""
@@ -220,6 +263,17 @@ class CacheSection(abc.ABC):
         line.metadata_free = self._metadata_free
         self.install(line)
         self.stats.prefetches_issued += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "cache.prefetch",
+                self.clock.now,
+                sec=self._name,
+                obj=key[0],
+                line=key[1],
+                ready=ready_at,
+                batch=True,
+            )
 
     def flush_line(self, key: LineKey) -> None:
         """Asynchronously write back a dirty line (keeps it resident)."""
@@ -228,6 +282,16 @@ class CacheSection(abc.ABC):
             self.network.write_async(self._transfer_bytes, one_sided=self._one_sided)
             line.dirty = False
             self.stats.writebacks += 1
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(
+                    "cache.writeback",
+                    self.clock.now,
+                    sec=self._name,
+                    obj=key[0],
+                    line=key[1],
+                    flush=True,
+                )
 
     def evict_hint_line(self, key: LineKey) -> None:
         """Mark a line evictable (last access passed)."""
@@ -266,12 +330,32 @@ class CacheSection(abc.ABC):
         ev = self._evict_overhead
         self.clock.advance(ev, "evict_overhead")
         self.stats.overhead_ns += ev
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "cache.evict",
+                self.clock.now,
+                sec=self._name,
+                obj=victim.key[0],
+                line=victim.key[1],
+                dirty=victim.dirty,
+                hinted=victim.evictable,
+            )
         if victim.dirty:
             self._writeback(victim)
 
     def _writeback(self, line: Line) -> None:
         self.network.write_async(self._transfer_bytes, one_sided=self._one_sided)
         self.stats.writebacks += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "cache.writeback",
+                self.clock.now,
+                sec=self._name,
+                obj=line.key[0],
+                line=line.key[1],
+            )
 
     def _fetch_sync(self) -> float:
         return self.network.read(self._transfer_bytes, one_sided=self._one_sided)

@@ -48,6 +48,13 @@ class SectionStats:
         self.miss_wait_ns += other.miss_wait_ns
         self.overhead_ns += other.overhead_ns
 
+    def publish(self, registry, prefix: str) -> None:
+        """Publish every counter into a :class:`repro.obs.MetricsRegistry`
+        under ``{prefix}.{field}`` (e.g. ``cache.main.hits``)."""
+        for fname, value in vars(self).items():
+            registry.gauge(f"{prefix}.{fname}").set(value)
+        registry.gauge(f"{prefix}.miss_rate").set(self.miss_rate)
+
 
 @dataclass
 class ObjectStats:

@@ -58,6 +58,8 @@ class SwapSection:
         self._pages: OrderedDict[int, PageEntry] = OrderedDict()
         self._evictable: OrderedDict[int, None] = OrderedDict()
         self.stats = SectionStats()
+        #: attached :class:`repro.obs.Tracer`, or None (tracing disabled)
+        self.tracer = None
         #: fault-path constant, resolved once (per-miss path)
         self._fault_ns = cost.page_fault_ns + extra_fault_ns
 
@@ -107,8 +109,21 @@ class SwapSection:
                     stats.prefetch_hits += 1
                     stats.misses += 1
                     entry.ready_at = 0.0
+                    tr = self.tracer
+                    if tr is not None:
+                        tr.emit(
+                            "cache.prefetch_hit",
+                            clock.now,
+                            sec="swap",
+                            obj=obj_id,
+                            line=page,
+                            wait=wait,
+                        )
                     return False
             stats.hits += 1
+            tr = self.tracer
+            if tr is not None:
+                tr.emit("cache.hit", self.clock.now, sec="swap", obj=obj_id, line=page)
             return True
         # page fault: kernel path, then a one-sided page read (recorded
         # on the network so traffic accounting sees the amplification)
@@ -120,6 +135,16 @@ class SwapSection:
         wire_ns = self.network.read(PAGE_SIZE, one_sided=True)
         stats.miss_wait_ns += fault_ns + wire_ns
         pages[page] = PageEntry(page=page, obj_id=obj_id, dirty=is_write)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "swap.fault",
+                self.clock.now,
+                obj=obj_id,
+                line=page,
+                wait=fault_ns + wire_ns,
+                write=is_write,
+            )
         return False
 
     def prefetch(self, page: int, obj_id: int = 0) -> None:
@@ -130,6 +155,16 @@ class SwapSection:
         ready = self.network.read_async(PAGE_SIZE, one_sided=True)
         self._pages[page] = PageEntry(page=page, obj_id=obj_id, ready_at=ready)
         self.stats.prefetches_issued += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "cache.prefetch",
+                self.clock.now,
+                sec="swap",
+                obj=obj_id,
+                line=page,
+                ready=ready,
+            )
 
     def contains(self, page: int) -> bool:
         return page in self._pages
@@ -148,6 +183,16 @@ class SwapSection:
                 self.network.write_async(PAGE_SIZE, one_sided=True)
                 entry.dirty = False
                 self.stats.writebacks += 1
+                tr = self.tracer
+                if tr is not None:
+                    tr.emit(
+                        "cache.writeback",
+                        self.clock.now,
+                        sec="swap",
+                        obj=entry.obj_id,
+                        line=page,
+                        flush=True,
+                    )
 
     def drop_object(self, obj_id: int) -> None:
         """Unmap every page of an object (it moved to its own section or
@@ -159,6 +204,15 @@ class SwapSection:
             if entry.dirty:
                 self.network.write_async(PAGE_SIZE, one_sided=True)
                 self.stats.writebacks += 1
+                tr = self.tracer
+                if tr is not None:
+                    tr.emit(
+                        "cache.writeback",
+                        self.clock.now,
+                        sec="swap",
+                        obj=entry.obj_id,
+                        line=page,
+                    )
 
     def resize(self, size_bytes: int) -> None:
         """Grow or shrink the page pool; shrinking evicts LRU pages."""
@@ -182,10 +236,23 @@ class SwapSection:
             del self._evictable[page]
             entry = self._pages.pop(page)
             self.stats.hinted_evictions += 1
+            hinted = True
         else:
             page, entry = self._pages.popitem(last=False)
             self._evictable.pop(page, None)
+            hinted = False
         self.stats.evictions += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "cache.evict",
+                self.clock.now,
+                sec="swap",
+                obj=entry.obj_id,
+                line=page,
+                dirty=entry.dirty,
+                hinted=hinted,
+            )
         if entry.dirty:
             self.clock.advance(self.cost.page_writeback_ns, "eviction")
             self.network.write_async(PAGE_SIZE, one_sided=True)

@@ -77,6 +77,7 @@ class MiraController:
         sample_sizes: bool = False,
         num_threads: int = 1,
         min_gain: float = 0.02,
+        tracer=None,
     ) -> None:
         self.build_module = build_module
         self.cost = cost
@@ -87,6 +88,9 @@ class MiraController:
         self.sample_sizes = sample_sizes
         self.num_threads = num_threads
         self.min_gain = min_gain
+        #: optional :class:`repro.obs.Tracer`; traces every internal run
+        #: and records one ``ctrl.iter`` event per optimization round
+        self.tracer = tracer
 
     # -- main loop -----------------------------------------------------------
 
@@ -100,6 +104,7 @@ class MiraController:
         result = self._run(compiled)
         measured = self._measured_ns(result)
         history.append(IterationRecord(0, 0.0, swap_plan, measured, True))
+        self._trace_iter(0, measured, True)
         best_module, best_plan = compiled, swap_plan
         best_ns = measured
         swap_ns = measured
@@ -126,10 +131,12 @@ class MiraController:
                 result = self._run(candidate)
             except ConfigError:
                 history.append(IterationRecord(k, fraction, plan, float("inf"), False))
+                self._trace_iter(k, float("inf"), False)
                 continue
             measured = self._measured_ns(result)
             accepted = measured < best_ns
             history.append(IterationRecord(k, fraction, plan, measured, accepted))
+            self._trace_iter(k, measured, accepted)
             analyzed.update(plan.notes.get("worst_functions", []))
             selected_sites.update(plan.converted_sites)
             if accepted:
@@ -164,7 +171,13 @@ class MiraController:
             data_init=self.data_init,
             entry=self.entry,
             num_threads=self.num_threads,
+            tracer=self.tracer,
         )
+
+    def _trace_iter(self, k: int, measured: float, accepted: bool) -> None:
+        tr = self.tracer
+        if tr is not None:
+            tr.emit("ctrl.iter", measured, k=k, measured=measured, accepted=accepted)
 
     @staticmethod
     def _measured_ns(result: RunResult) -> float:

@@ -25,12 +25,20 @@ def run_plan(
     data_init: DataInit | None = None,
     entry: str = "main",
     num_threads: int = 1,
+    tracer=None,
 ) -> RunResult:
-    """Run a pipeline-compiled module on the Mira runtime."""
+    """Run a pipeline-compiled module on the Mira runtime.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records every cache, network,
+    and runtime event of the run; None (the default) disables tracing.
+    """
     from repro.memsim.resources import SerialResource
 
     fault_lock = SerialResource("swap-lock") if num_threads > 1 else None
     manager = CacheManager(cost, local_mem_bytes, fault_lock=fault_lock)
+    if tracer is not None:
+        # attach before sections open so sec.open events are captured
+        manager.set_tracer(tracer)
     plan: MiraPlan = compiled.attrs.get("plan", MiraPlan.swap_only())
     for sp in plan.sections:
         manager.open_section(sp.config, [], per_thread=sp.per_thread)
@@ -45,7 +53,10 @@ def run_on_baseline(
     system: MemorySystem,
     data_init: DataInit | None = None,
     entry: str = "main",
+    tracer=None,
 ) -> RunResult:
     """Run an (uncompiled) module on any memory system."""
+    if tracer is not None:
+        system.set_tracer(tracer)
     interp = Interpreter(module, system, data_init)
     return interp.run(entry)

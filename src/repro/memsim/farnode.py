@@ -94,3 +94,8 @@ class FarMemoryNode:
     @property
     def used_bytes(self) -> int:
         return self.remote_allocator.used
+
+    def publish_metrics(self, registry) -> None:
+        """Publish allocator state into a :class:`repro.obs.MetricsRegistry`."""
+        registry.gauge("far.used_bytes").set(self.used_bytes)
+        registry.gauge("far.alloc_round_trips").set(self.local_allocator.round_trips)

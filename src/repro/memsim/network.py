@@ -57,6 +57,14 @@ class NetworkStats:
     def total_bytes(self) -> int:
         return self.bytes_read + self.bytes_written
 
+    def publish(self, registry) -> None:
+        """Publish the counters into a :class:`repro.obs.MetricsRegistry`."""
+        registry.gauge("net.bytes_read").set(self.bytes_read)
+        registry.gauge("net.bytes_written").set(self.bytes_written)
+        registry.gauge("net.messages").set(self.messages)
+        for kind, nbytes in self.by_kind.items():
+            registry.gauge(f"net.kind.{kind.value}.bytes").set(nbytes)
+
 
 class Network:
     """Point-to-point link between the local node and far memory."""
@@ -65,6 +73,8 @@ class Network:
         self.cost = cost
         self.clock = clock
         self.stats = NetworkStats()
+        #: attached :class:`repro.obs.Tracer`, or None (tracing disabled)
+        self.tracer = None
         #: virtual time at which the link is next free; models bandwidth
         #: contention between overlapping async transfers
         self._link_free_at: float = 0.0
@@ -90,6 +100,11 @@ class Network:
         by_kind[kind] = by_kind.get(kind, 0) + nbytes
         stats.bytes_read += nbytes
         self.clock.advance(ns, "net_read")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "net.recv", self.clock.now, bytes=nbytes, one_sided=one_sided, ns=ns
+            )
         return ns
 
     def write(self, nbytes: int, one_sided: bool = True) -> float:
@@ -102,6 +117,11 @@ class Network:
         by_kind[kind] = by_kind.get(kind, 0) + nbytes
         stats.bytes_written += nbytes
         self.clock.advance(ns, "net_write")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "net.send", self.clock.now, bytes=nbytes, one_sided=one_sided, ns=ns
+            )
         return ns
 
     def write_async(self, nbytes: int, one_sided: bool = True) -> float:
@@ -116,6 +136,15 @@ class Network:
         stats.bytes_written += nbytes
         ready = self._schedule(nbytes, one_sided)
         self.clock.advance(self._issue_ns, "net_issue")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "net.send",
+                self.clock.now,
+                bytes=nbytes,
+                one_sided=one_sided,
+                ready=ready,
+            )
         return ready
 
     def read_async(self, nbytes: int, one_sided: bool = True) -> float:
@@ -128,6 +157,15 @@ class Network:
         stats.bytes_read += nbytes
         ready = self._schedule(nbytes, one_sided)
         self.clock.advance(self._issue_ns, "net_issue")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "net.recv",
+                self.clock.now,
+                bytes=nbytes,
+                one_sided=one_sided,
+                ready=ready,
+            )
         return ready
 
     def rpc(self, request_bytes: int, response_bytes: int) -> float:
@@ -139,6 +177,11 @@ class Network:
         )
         self.stats.record(TransferKind.RPC, request_bytes + response_bytes, False)
         self.clock.advance(ns, "rpc")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "net.rpc", self.clock.now, req=request_bytes, resp=response_bytes, ns=ns
+            )
         return ns
 
     # -- internals ---------------------------------------------------------

@@ -1,0 +1,36 @@
+"""``repro.obs``: structured tracing and metrics for the simulator.
+
+* :mod:`repro.obs.trace` -- :class:`Tracer` and the stable JSONL event
+  schema (deterministic digests; engine-parity enforced);
+* :mod:`repro.obs.metrics` -- :class:`MetricsRegistry`
+  (counters/gauges/histograms) that existing stats publish into;
+* :mod:`repro.obs.report` -- ``python -m repro.obs.report trace.jsonl``:
+  per-phase timelines and per-section summaries from a trace.
+
+Attach a tracer with ``run_plan(..., tracer=t)`` /
+``run_on_baseline(..., tracer=t)`` (or ``memsys.set_tracer(t)`` before
+building the interpreter).  With no tracer attached every emission point
+is a single ``None`` test: tracing costs nothing when off.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_run_metrics,
+)
+from repro.obs.trace import KINDS, SCHEMA, Tracer, digest_of_events, read_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KINDS",
+    "MetricsRegistry",
+    "SCHEMA",
+    "Tracer",
+    "collect_run_metrics",
+    "digest_of_events",
+    "read_jsonl",
+]

@@ -1,0 +1,145 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+The registry is the pull-side companion to :mod:`repro.obs.trace`: where
+a trace records *every* event, metrics hold cheap aggregates that existing
+statistics objects (:class:`~repro.cache.stats.SectionStats`, the
+profiler, network counters, the clock breakdown) publish into under
+stable dotted names.  ``collect_run_metrics`` gathers everything a
+finished :class:`~repro.runtime.interpreter.RunResult` exposes.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A value that can go up or down (sizes, ratios, timestamps)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+
+class Histogram:
+    """Streaming summary: count / sum / min / max (no stored samples)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors.
+
+    Names are dotted paths (``cache.main.hits``, ``net.bytes_read``);
+    a name is bound to one metric type for the registry's lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    def snapshot(self) -> dict:
+        """Sorted, JSON-ready view of every metric."""
+        return {
+            "counters": {k: self._counters[k].value for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].snapshot() for k in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+def collect_run_metrics(result, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Publish everything a finished run exposes into one registry.
+
+    Pulls the clock breakdown, the memory system's network counters and
+    per-section statistics, and the profiler's per-function aggregates.
+    """
+    reg = registry or MetricsRegistry()
+    reg.gauge("run.elapsed_ns").set(result.elapsed_ns)
+    reg.gauge("run.runtime_ns").set(result.runtime_ns)
+    for cat, ns in result.breakdown.items():
+        reg.gauge(f"clock.{cat}_ns").set(ns)
+    memsys = result.memsys
+    memsys.network.stats.publish(reg)
+    memsys.far_node.publish_metrics(reg)
+    reg.gauge("mem.metadata_bytes").set(memsys.metadata_bytes())
+    collect = getattr(memsys, "collect_section_stats", None)
+    if collect is not None:
+        for sec_name, fields in collect().items():
+            for fname, value in fields.items():
+                reg.gauge(f"cache.{sec_name}.{fname}").set(value)
+            accesses = fields.get("accesses")
+            if accesses:
+                reg.gauge(f"cache.{sec_name}.miss_rate").set(
+                    fields.get("misses", 0) / accesses
+                )
+    result.profiler.publish(reg)
+    return reg

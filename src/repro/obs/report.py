@@ -1,0 +1,173 @@
+"""Trace analysis + report CLI.
+
+Turns a JSONL trace (written by :class:`repro.obs.Tracer`) into the two
+views the controller's story needs: a per-phase timeline (one row per
+``prof.region`` span, with the cache activity that happened inside it)
+and a per-section summary (one row per cache section, swap included).
+Rendering lives in :mod:`repro.bench.reporting` next to the figure
+tables, so trace reports and paper tables share one look.
+
+Usage::
+
+    python -m repro.obs.report trace.jsonl            # both views
+    python -m repro.obs.report trace.jsonl --phases   # timeline only
+    python -m repro.obs.report trace.jsonl --sections # summary only
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.obs.trace import digest_of_events, read_jsonl
+
+#: event kinds counted as cache activity inside a phase
+_MISS_KINDS = frozenset({"cache.miss", "swap.fault"})
+
+
+def phase_timeline(events: list[dict]) -> list[dict]:
+    """One row per completed ``prof.region`` span, in begin order.
+
+    Rows carry start/end virtual time and the hit/miss/network activity
+    observed while the phase was open (nested phases both count shared
+    events: the timeline is inclusive, like the profiler).
+    """
+    rows: list[dict] = []
+    open_spans: dict[str, dict] = {}
+    for ev in events:
+        kind = ev["k"]
+        if kind == "prof.region":
+            label = ev["label"]
+            if ev["ev"] == "begin":
+                span = {
+                    "phase": label,
+                    "start_ns": ev["t"],
+                    "end_ns": None,
+                    "duration_ns": None,
+                    "hits": 0,
+                    "misses": 0,
+                    "net_bytes": 0,
+                }
+                rows.append(span)
+                open_spans[label] = span
+            else:
+                span = open_spans.pop(label, None)
+                if span is not None:
+                    span["end_ns"] = ev["t"]
+                    span["duration_ns"] = ev["t"] - span["start_ns"]
+            continue
+        if not open_spans:
+            continue
+        if kind == "cache.hit":
+            for span in open_spans.values():
+                span["hits"] += 1
+        elif kind in _MISS_KINDS:
+            for span in open_spans.values():
+                span["misses"] += 1
+        elif kind in ("net.send", "net.recv"):
+            b = ev.get("bytes", 0)
+            for span in open_spans.values():
+                span["net_bytes"] += b
+    return [r for r in rows if r["end_ns"] is not None]
+
+
+def section_summary(events: list[dict]) -> dict[str, dict]:
+    """Aggregate cache events per section (``swap`` included)."""
+    out: dict[str, dict] = {}
+
+    def row(sec: str) -> dict:
+        r = out.get(sec)
+        if r is None:
+            r = out[sec] = {
+                "hits": 0,
+                "misses": 0,
+                "prefetch_hits": 0,
+                "prefetches": 0,
+                "evictions": 0,
+                "hinted_evictions": 0,
+                "writebacks": 0,
+                "miss_wait_ns": 0.0,
+            }
+        return r
+
+    for ev in events:
+        kind = ev["k"]
+        if not (kind.startswith("cache.") or kind == "swap.fault"):
+            continue
+        sec = ev.get("sec", "swap")
+        r = row(sec)
+        if kind == "cache.hit":
+            r["hits"] += 1
+        elif kind in ("cache.miss", "swap.fault"):
+            r["misses"] += 1
+            r["miss_wait_ns"] += ev.get("wait", 0.0)
+        elif kind == "cache.prefetch_hit":
+            r["misses"] += 1
+            r["prefetch_hits"] += 1
+            r["miss_wait_ns"] += ev.get("wait", 0.0)
+        elif kind == "cache.prefetch":
+            r["prefetches"] += 1
+        elif kind == "cache.evict":
+            r["evictions"] += 1
+            r["hinted_evictions"] += ev.get("hinted", 0)
+        elif kind == "cache.writeback":
+            r["writebacks"] += 1
+    for r in out.values():
+        total = r["hits"] + r["misses"]
+        r["accesses"] = total
+        r["miss_rate"] = r["misses"] / total if total else 0.0
+    return out
+
+
+def event_counts(events: list[dict]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for ev in events:
+        counts[ev["k"]] = counts.get(ev["k"], 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_report(
+    header: dict, events: list[dict], phases: bool = True, sections: bool = True
+) -> str:
+    """The CLI's full plain-text report."""
+    from repro.bench.reporting import format_phase_timeline, format_section_summary
+
+    lines = [
+        f"trace: {header.get('schema', '?')} | {len(events)} events | "
+        f"digest {digest_of_events(events)[:16]}"
+    ]
+    counts = event_counts(events)
+    lines.append(
+        "kinds: " + ", ".join(f"{k}={n}" for k, n in counts.items())
+    )
+    if phases:
+        lines.append("")
+        lines.append(format_phase_timeline(phase_timeline(events)))
+    if sections:
+        lines.append("")
+        lines.append(format_section_summary(section_summary(events)))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs.report", description=__doc__
+    )
+    ap.add_argument("trace", help="JSONL trace file written by Tracer.write_jsonl")
+    ap.add_argument("--phases", action="store_true", help="timeline only")
+    ap.add_argument("--sections", action="store_true", help="section summary only")
+    args = ap.parse_args(argv)
+    header, events = read_jsonl(args.trace)
+    both = not (args.phases or args.sections)
+    print(
+        render_report(
+            header,
+            events,
+            phases=both or args.phases,
+            sections=both or args.sections,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -153,6 +153,11 @@ class Engine:
                 request_bytes += 16
             else:
                 request_bytes += 8
+        tr = st.tracer
+        if tr is not None:
+            # mirrored emission point: keep identical to the reference
+            # interpreter's _offloaded_invoke (trace parity contract)
+            tr.emit("offload.dispatch", st.clock.now, fn=fn.name, req=request_bytes)
         memsys.network.rpc(request_bytes, 64)
         st._enter_far()
         try:
@@ -736,12 +741,16 @@ class Engine:
             if fault_lock is not None:
                 fault_lock.contention = nthreads
             has_tid = hasattr(memsys, "current_thread")
+            tr = st.tracer
             for tid, chunk in enumerate(chunks):
                 tclock = base_clock.fork()
                 network._link_free_at = base_link_free
                 st._set_active_clock(tclock)
                 if has_tid:
                     memsys.current_thread = tid
+                if tr is not None:
+                    # mirrored emission point (trace parity contract)
+                    tr.emit("thread.fork", tclock.now, tid=tid, iters=len(chunk))
                 for i in chunk:
                     env[iv_u] = i
                     for s in body_steps:
@@ -758,6 +767,8 @@ class Engine:
                 memsys.current_thread = 0
             for tclock in thread_clocks:
                 base_clock.join(tclock)
+            if tr is not None:
+                tr.emit("thread.join", base_clock.now, threads=nthreads)
 
         return run_parallel, 0.0
 

@@ -88,6 +88,10 @@ class Interpreter:
         self.store = ObjectStore()
         self.data_init = data_init
         self.profiler = Profiler(self.clock)
+        #: tracer inherited from the memory system (attach one with
+        #: ``memsys.set_tracer(...)`` *before* building the interpreter)
+        self.tracer = getattr(memsys, "tracer", None)
+        self.profiler.tracer = self.tracer
         self.instrumented = bool(module.attrs.get("profiling"))
         self._far_depth = 0
         self._cpu_unit = self.cost.cpu_op_ns  # tracks far-mode slowdown
@@ -112,10 +116,23 @@ class Interpreter:
             results = self._engine.call_function(fn, args or [])
         else:
             results = self._call_function(fn, args or [])
+        breakdown = self.clock.breakdown()
+        tr = self.tracer
+        if tr is not None:
+            # end-of-run snapshot; shared by both engines (run() is common)
+            now = self.clock.now
+            tr.emit(
+                "prof.snapshot",
+                now,
+                elapsed=now,
+                runtime=runtime_ns(breakdown),
+                funcs=len(self.profiler.functions),
+                allocs=len(self.profiler.allocations),
+            )
         return RunResult(
             results=results,
             elapsed_ns=self.clock.now,
-            breakdown=self.clock.breakdown(),
+            breakdown=breakdown,
             profiler=self.profiler,
             memsys=self.memsys,
         )
@@ -364,12 +381,15 @@ class Interpreter:
         fault_lock = getattr(self.memsys, "fault_lock", None)
         if fault_lock is not None:
             fault_lock.contention = nthreads
+        tr = self.tracer
         for tid, chunk in enumerate(chunks):
             tclock = base_clock.fork()
             network._link_free_at = base_link_free
             self._set_active_clock(tclock)
             if hasattr(self.memsys, "current_thread"):
                 self.memsys.current_thread = tid
+            if tr is not None:
+                tr.emit("thread.fork", tclock.now, tid=tid, iters=len(chunk))
             for i in chunk:
                 env[iv.uid] = i
                 self._exec_block(op.body, env)
@@ -385,6 +405,8 @@ class Interpreter:
             self.memsys.current_thread = 0
         for tclock in thread_clocks:
             base_clock.join(tclock)
+        if tr is not None:
+            tr.emit("thread.join", base_clock.now, threads=nthreads)
 
     def _set_active_clock(self, clock: VirtualClock) -> None:
         self.clock = clock
@@ -452,6 +474,11 @@ class Interpreter:
                 request_bytes += 16  # the far-memory pointer travels
             else:
                 request_bytes += 8
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                "offload.dispatch", self.clock.now, fn=fn.name, req=request_bytes
+            )
         self.memsys.network.rpc(request_bytes, 64)
         self._enter_far()
         try:

@@ -69,6 +69,8 @@ class Profiler:
     functions: dict[str, FunctionProfile] = field(default_factory=dict)
     allocations: list[AllocationRecord] = field(default_factory=list)
     regions: dict[str, float] = field(default_factory=dict)
+    #: attached :class:`repro.obs.Tracer`, or None (tracing disabled)
+    tracer: object = None
     _stack: list[_Frame] = field(default_factory=list)
     _region_starts: dict[str, float] = field(default_factory=dict)
 
@@ -97,14 +99,32 @@ class Profiler:
         self.allocations.append(AllocationRecord(site, name, size, function))
 
     def region_begin(self, label: str) -> None:
-        self._region_starts[label] = self.clock.now
+        now = self.clock.now
+        self._region_starts[label] = now
+        tr = self.tracer
+        if tr is not None:
+            tr.emit("prof.region", now, label=label, ev="begin")
 
     def region_end(self, label: str) -> None:
         start = self._region_starts.pop(label, None)
         if start is not None:
-            self.regions[label] = self.regions.get(label, 0.0) + (
-                self.clock.now - start
-            )
+            now = self.clock.now
+            self.regions[label] = self.regions.get(label, 0.0) + (now - start)
+            tr = self.tracer
+            if tr is not None:
+                tr.emit("prof.region", now, label=label, ev="end")
+
+    def publish(self, registry) -> None:
+        """Publish per-function aggregates and region durations into a
+        :class:`repro.obs.MetricsRegistry`."""
+        for name, prof in self.functions.items():
+            registry.gauge(f"func.{name}.calls").set(prof.calls)
+            registry.gauge(f"func.{name}.inclusive_ns").set(prof.inclusive_ns)
+            registry.gauge(f"func.{name}.exclusive_ns").set(prof.exclusive_ns)
+            registry.gauge(f"func.{name}.overhead_ratio").set(prof.overhead_ratio)
+        for label, ns in self.regions.items():
+            registry.gauge(f"region.{label}_ns").set(ns)
+        registry.gauge("prof.allocations").set(len(self.allocations))
 
     # -- controller queries (section 4.1) -------------------------------------
 

@@ -12,13 +12,19 @@ compare complete run fingerprints with ``==``: no tolerances anywhere.
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.baselines import NativeMemory
 from repro.bench.harness import BASELINE_SYSTEMS, ModuleMemo, effective_ns
 from repro.core import MiraController, run_on_baseline, run_plan
 from repro.errors import AllocationError
+from repro.ir.builder import IRBuilder
+from repro.ir.types import FloatType
+from repro.ir.verifier import verify
 from repro.memsim.cost_model import CostModel
+from repro.obs import Tracer
 from repro.workloads import make_workload
 
 COST = CostModel()
@@ -110,6 +116,139 @@ def test_engines_bit_identical(name, monkeypatch):
         assert reference[point] == compiled[point], (
             f"{name}: engines diverge at {point}"
         )
+
+
+# -- randomized differential fuzzing ----------------------------------------
+#
+# Small random IR programs, generated deterministically from a seed, run
+# under both engines on native memory and on FastSwap at a tight local
+# ratio.  The fingerprint adds the *trace digest* to the parity contract:
+# both engines must emit byte-identical event streams, not just identical
+# end-of-run aggregates.
+
+F64 = FloatType(64)
+
+
+def _build_fuzz_module(seed: int):
+    """One random program: an init loop, then 4-8 random statements over
+    1-2 f64 arrays, returning an f64 accumulator."""
+    rng = random.Random(seed)
+    b = IRBuilder()
+    n = rng.choice((64, 96, 128, 192, 256))
+    num_arrays = rng.choice((1, 2))
+    with b.func("main", result_types=[F64]):
+        # remotable allocations so rmem hint ops (prefetch/flush/evict)
+        # are legal; native memory simply ignores the hints
+        arrays = [
+            b.ralloc(F64, n, f"arr{a}") for a in range(num_arrays)
+        ]
+        # deterministic init so loads see defined values
+        with b.for_(0, n) as loop:
+            fv = b.cast(loop.iv, F64)
+            for a, arr in enumerate(arrays):
+                b.store(b.add(b.mul(fv, float(a + 1)), 1.0), arr, loop.iv)
+        total = b.f64(0.0)
+        for _ in range(rng.randint(4, 8)):
+            stmt = rng.choice(
+                ("sum", "write", "if", "hints", "work", "touch", "parallel")
+            )
+            arr = rng.choice(arrays)
+            if stmt == "sum":
+                k = rng.randint(0, n - 1)
+                stride = rng.choice((1, 2, 3, 7))
+                with b.for_(0, n, step=stride, iter_args=[total]) as loop:
+                    idx = b.rem(b.add(loop.iv, k), n)
+                    x = b.load(arr, idx)
+                    b.yield_([b.add(loop.args[0], x)])
+                total = loop.results[0]
+            elif stmt == "write":
+                stride = rng.choice((1, 3, 5))
+                with b.for_(0, n, step=stride) as loop:
+                    fv = b.cast(loop.iv, F64)
+                    b.store(b.mul(fv, float(rng.randint(1, 9))), arr, loop.iv)
+            elif stmt == "if":
+                cond = b.cmp("lt", total, float(rng.randint(0, 10_000)))
+                h = b.if_(cond, result_types=[F64])
+                with h.then():
+                    b.yield_([b.add(total, float(rng.randint(1, 5)))])
+                with h.else_():
+                    b.yield_([b.mul(total, 0.5)])
+                total = h.results[0]
+            elif stmt == "hints":
+                idx = rng.randint(0, n - 1)
+                count = rng.randint(1, 16)
+                kind = rng.choice(("prefetch", "flush", "evict"))
+                if kind == "prefetch":
+                    b.prefetch(arr, idx, count)
+                elif kind == "flush":
+                    b.flush(arr, idx, count)
+                else:
+                    b.evict_hint(arr, idx, count)
+            elif stmt == "work":
+                b.work(float(rng.randint(1, 200)))
+            elif stmt == "touch":
+                length = rng.randint(1, n) * 8
+                start = rng.randint(0, n * 8 - length)
+                b.touch(arr, start, length, is_write=rng.random() < 0.3)
+            else:  # parallel
+                with b.parallel(0, rng.choice((8, 16)), num_threads=2) as loop:
+                    fv = b.cast(loop.iv, F64)
+                    b.store(fv, arr, loop.iv)
+                    b.work(float(rng.randint(1, 20)))
+        b.ret([total])
+    verify(b.module)
+    footprint = num_arrays * n * 8
+    return b.module, footprint
+
+
+def _fuzz_fingerprint(seed: int, engine: str) -> dict:
+    import os
+
+    os.environ["REPRO_ENGINE"] = engine
+    try:
+        fp = {}
+        for system in ("native", "fastswap"):
+            module, footprint = _build_fuzz_module(seed)
+            if system == "native":
+                memsys = NativeMemory(COST, 2 * footprint + (1 << 20))
+            else:
+                memsys = BASELINE_SYSTEMS["fastswap"](
+                    COST, max(4096, int(footprint * 0.3))
+                )
+            tracer = Tracer()
+            result = run_on_baseline(module, memsys, tracer=tracer)
+            fp[system] = {
+                "results": list(result.results),
+                "elapsed_ns": result.elapsed_ns,
+                "breakdown": result.breakdown,
+                "trace_digest": tracer.digest(),
+                "trace_events": len(tracer),
+            }
+        return fp
+    finally:
+        os.environ.pop("REPRO_ENGINE", None)
+
+
+def _assert_fuzz_parity(seed: int) -> None:
+    reference = _fuzz_fingerprint(seed, "reference")
+    compiled = _fuzz_fingerprint(seed, "compiled")
+    for system in reference:
+        assert reference[system] == compiled[system], (
+            f"seed {seed}: engines diverge on {system}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_engines_bit_identical(seed, monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    _assert_fuzz_parity(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(8, 40))
+def test_fuzz_engines_bit_identical_deep(seed, monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    _assert_fuzz_parity(seed)
 
 
 def test_engine_selection(monkeypatch):

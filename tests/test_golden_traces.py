@@ -1,0 +1,104 @@
+"""Golden-trace regression tests.
+
+One small ``array_sum`` run per memory system with its trace digest
+committed.  Any change to event ordering, event payloads, the canonical
+JSONL encoding, or the simulated systems' behavior will shift the digest
+and fail here -- by design.  If a change is *intentional*, re-run the
+failing test, inspect the diff in behavior, and update the constant.
+
+AIFM runs at a larger local budget because its per-element remotable
+metadata (16 B per 8 B element) is 2x the data footprint; at 0.5x it
+deterministically fails allocation (the Fig. 18 effect, covered by the
+sweep tests), which would leave almost nothing in the trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import BASELINE_SYSTEMS, ModuleMemo
+from repro.core import MiraController, run_on_baseline, run_plan
+from repro.memsim.cost_model import CostModel
+from repro.obs import Tracer
+from repro.workloads import make_workload
+
+COST = CostModel()
+NUM_ELEMS = 2048
+
+#: system -> (sha256 digest of the canonical event lines, event count)
+GOLDEN = {
+    "fastswap": (
+        "8da5c1fd58bcf555994e68f130ccc3e678658de4eecad82025623b08b197fa2a",
+        2056,
+    ),
+    "leap": (
+        "fcb12794fd0cfaffa435e3932a73cc82d370bab4ad30ad9b99e4f1a685eff729",
+        2057,
+    ),
+    "aifm": (
+        "64789342cb5538b1199795bd1f6dbc4d5efadd9ef1fa95e06390675ea4460132",
+        5122,
+    ),
+    "mira": (
+        "dc6bb984926f7d5a1a488e0a9324236f656cdb25cc7d8afc3eeca8873eb1b345",
+        6204,
+    ),
+}
+
+
+def _traced_run(system: str) -> Tracer:
+    workload = make_workload("array_sum", num_elems=NUM_ELEMS)
+    memo = ModuleMemo(workload)
+    ratio = 2.5 if system == "aifm" else 0.5
+    local = max(4096, int(memo.footprint_bytes * ratio))
+    tracer = Tracer()
+    if system == "mira":
+        controller = MiraController(
+            memo.fresh,
+            COST,
+            local,
+            data_init=workload.data_init,
+            entry=workload.entry,
+            max_iterations=1,
+            tracer=tracer,
+        )
+        program = controller.optimize()
+        result = run_plan(
+            program.module, COST, local, data_init=workload.data_init,
+            entry=workload.entry, tracer=tracer,
+        )
+    else:
+        result = run_on_baseline(
+            memo.module,
+            BASELINE_SYSTEMS[system](COST, local),
+            workload.data_init,
+            entry=workload.entry,
+            tracer=tracer,
+        )
+    workload.verify_results(result.results)
+    return tracer
+
+
+@pytest.mark.parametrize("system", sorted(GOLDEN))
+def test_golden_trace_digest(system):
+    tracer = _traced_run(system)
+    digest, events = GOLDEN[system]
+    assert (tracer.digest(), len(tracer)) == (digest, events), (
+        f"{system}: trace diverged from the committed golden digest; if the "
+        f"behavior change is intentional, update GOLDEN with "
+        f"({tracer.digest()!r}, {len(tracer)})"
+    )
+
+
+def test_golden_traces_cover_event_variety():
+    """Meta-check: the golden runs exercise a broad slice of the schema, so
+    digest stability is a meaningful guarantee."""
+    kinds = set()
+    for system in GOLDEN:
+        kinds.update(kind for kind, _t, _fields in _traced_run(system).events)
+    expected = {
+        "cache.hit", "cache.miss", "cache.evict", "swap.fault", "net.recv",
+        "sec.open", "sec.assign", "obj.alloc", "prof.snapshot", "ctrl.iter",
+    }
+    missing = expected - kinds
+    assert not missing, f"golden runs no longer emit: {sorted(missing)}"
