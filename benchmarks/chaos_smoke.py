@@ -1,0 +1,116 @@
+"""Chaos smoke benchmark: the five paper workloads under a fault-plan
+matrix.
+
+Each cell runs one workload on one memory system twice -- healthy, then
+under a seeded :class:`repro.faults.FaultPlan` -- and asserts the
+robustness criterion: the faulty run completes with correct results and
+its virtual-time slowdown stays within a bounded factor of the healthy
+run.  Retries, giveups, breaker trips, and graceful-degradation actions
+are reported per cell, and the whole matrix is written to
+``BENCH_chaos.json`` at the repo root.
+
+Run with::
+
+    PYTHONPATH=src:. python benchmarks/chaos_smoke.py \
+        [--systems fastswap mira] [--seeds 1 2] \
+        [--intensities light medium] [--max-slowdown 10]
+
+This file is deliberately not named ``test_*``: it is a benchmark script
+(CI runs it as a separate step); the tier-1 chaos smoke lives in
+``tests/test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+from repro.faults.chaos import (
+    CHAOS_WORKLOADS,
+    DEFAULT_MAX_SLOWDOWN,
+    default_matrix,
+    run_chaos_matrix,
+)
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--systems", nargs="+", default=["fastswap", "mira"])
+    ap.add_argument("--seeds", nargs="+", type=int, default=[1, 2])
+    ap.add_argument("--intensities", nargs="+", default=["light", "medium"])
+    ap.add_argument("--max-slowdown", type=float, default=DEFAULT_MAX_SLOWDOWN)
+    ap.add_argument(
+        "--workloads", nargs="+", default=sorted(CHAOS_WORKLOADS),
+        help="subset of the five paper workloads",
+    )
+    args = ap.parse_args()
+
+    plans = default_matrix(seeds=tuple(args.seeds), intensities=tuple(args.intensities))
+    t0 = time.perf_counter()
+    points, violations = run_chaos_matrix(
+        workloads=args.workloads,
+        systems=tuple(args.systems),
+        plans=plans,
+        max_slowdown=args.max_slowdown,
+    )
+    wall = time.perf_counter() - t0
+
+    rows = [p.row() for p in points]
+    for row in rows:
+        print(json.dumps(row))
+    retries = sum(r["retries"] for r in rows)
+    degrades = sum(r["degrades"] for r in rows)
+    worst = max((r["slowdown"] for r in rows), default=0.0)
+    print(
+        f"\n{len(rows)} cells, {retries} retries, {degrades} degradations, "
+        f"worst slowdown {worst:.2f}x (bound {args.max_slowdown:.1f}x), "
+        f"{wall:.1f} s wall"
+    )
+
+    report = {
+        "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "matrix": {
+            "workloads": args.workloads,
+            "systems": args.systems,
+            "seeds": args.seeds,
+            "intensities": args.intensities,
+            "max_slowdown": args.max_slowdown,
+        },
+        "cells": rows,
+        "summary": {
+            "cells": len(rows),
+            "retries": retries,
+            "degrades": degrades,
+            "worst_slowdown": worst,
+            "violations": violations,
+            "wall_s": round(wall, 2),
+        },
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+
+    if violations:
+        print("\nROBUSTNESS VIOLATIONS:", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,7 @@ class FastSwap(MemorySystem):
     def set_clock(self, clock: VirtualClock) -> None:
         self.clock = clock
         self.network.clock = clock
+        self.far_node.clock = clock
         self.swap.clock = clock
 
     def set_tracer(self, tracer) -> None:

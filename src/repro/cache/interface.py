@@ -87,6 +87,7 @@ class MemorySystem(abc.ABC):
     def set_clock(self, clock: VirtualClock) -> None:
         self.clock = clock
         self.network.clock = clock
+        self.far_node.clock = clock
 
     # -- tracing (no-op unless a tracer is attached) -------------------------
 
@@ -96,6 +97,28 @@ class MemorySystem(abc.ABC):
         points pick it up.  Subclasses propagate to their sections."""
         self.tracer = tracer
         self.network.tracer = tracer
+
+    # -- fault injection (disabled unless a plan is installed) ---------------
+
+    def enable_faults(self, plan) -> None:
+        """Install a :class:`repro.faults.FaultPlan` for this run.
+
+        Builds a fresh seeded :class:`~repro.faults.FaultInjector` (so
+        every run under the same plan draws the same fault sequence) and
+        wires it into the shared machine: the network gains the
+        timeout/retry/backoff/breaker reliability layer, the far node's
+        offload compute honors slowdown windows.  Pass None to disable.
+        """
+        if plan is None:
+            self.network.install_faults(None)
+            self.far_node.faults = None
+            return
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(plan)
+        self.network.install_faults(injector)
+        self.far_node.faults = injector
+        self.far_node.clock = self.clock
 
     # -- the data path -------------------------------------------------------
 

@@ -42,6 +42,11 @@ class CacheManager(MemorySystem):
         #: object is allocated (plans are made before the program runs)
         self.pending_assignment: dict[str, str] = {}
         self._access_counter = 0
+        #: breaker trips observed but not yet acted on; the callback fires
+        #: mid network op, so degradation is deferred to the next access
+        self._degrade_pending = 0
+        #: record of applied degradation actions, for reporting
+        self.degrade_log: list[dict] = []
         #: memoized (obj_id, thread) -> (ObjectInfo, section, ObjectStats,
         #: native?) for the per-access path: object lookup, the f-string
         #: per-thread section probe, and the native-promise set test are
@@ -54,6 +59,7 @@ class CacheManager(MemorySystem):
     def set_clock(self, clock: VirtualClock) -> None:
         self.clock = clock
         self.network.clock = clock
+        self.far_node.clock = clock
         self.swap.clock = clock
         for sec in self._sections.values():
             sec.clock = clock
@@ -64,6 +70,74 @@ class CacheManager(MemorySystem):
         self.swap.tracer = tracer
         for sec in self._sections.values():
             sec.tracer = tracer
+
+    # -- fault handling / graceful degradation --------------------------------
+
+    def enable_faults(self, plan) -> None:
+        super().enable_faults(plan)
+        self.network.on_persistent_failure = (
+            None if plan is None else self._note_persistent_failure
+        )
+
+    def _note_persistent_failure(self, op: str) -> None:
+        """Circuit breaker tripped: queue one degradation step.  The
+        callback fires inside a network op, possibly mid-way through a
+        section's miss path, so the response is deferred until the next
+        ``access`` call rather than reconfiguring sections re-entrantly."""
+        self._degrade_pending += 1
+
+    def _apply_degradation(self) -> None:
+        pending, self._degrade_pending = self._degrade_pending, 0
+        for _ in range(pending):
+            self._degrade_step()
+
+    def _degrade_step(self) -> None:
+        """One graceful-degradation action, mildest first.
+
+        A persistent network failure indicts the message path (far-node
+        CPU involvement), so first demote a two-sided section to one-sided
+        communication; once every section is one-sided, remap the worst
+        section's objects onto the swap path and return its budget --
+        switching data paths instead of failing, per A Tale of Two Paths.
+        """
+        tr = self.tracer
+        flt = self.network.faults
+        for name in sorted(self._sections):
+            sec = self._sections[name]
+            if not sec._one_sided:
+                # runtime-only demotion: the shared SectionConfig (which
+                # plans reuse across runs) stays untouched.  One-sided
+                # transfers cannot do selective transmission, so the whole
+                # line travels from now on.
+                sec._one_sided = True
+                sec._transfer_bytes = sec._line_size
+                if flt is not None:
+                    flt.stats.degrades += 1
+                self.degrade_log.append({"action": "demote_comm", "sec": name})
+                if tr is not None:
+                    tr.emit(
+                        "degrade.section",
+                        self.clock.now,
+                        sec=name,
+                        action="demote_comm",
+                    )
+                return
+        if not self._sections:
+            return  # already fully on the swap path; nothing left to shed
+        worst = max(
+            self._sections, key=lambda n: (self._sections[n].stats.misses, n)
+        )
+        base = worst.split("@t")[0]
+        for alloc_name in [
+            a for a, s in self.pending_assignment.items() if s == base
+        ]:
+            del self.pending_assignment[alloc_name]
+        self.close_section(base)
+        if flt is not None:
+            flt.stats.degrades += 1
+        self.degrade_log.append({"action": "remap_swap", "sec": base})
+        if tr is not None:
+            tr.emit("degrade.section", self.clock.now, sec=base, action="remap_swap")
 
     # -- section lifecycle ----------------------------------------------------
 
@@ -227,6 +301,8 @@ class CacheManager(MemorySystem):
         is_write: bool,
         native: bool = False,
     ) -> None:
+        if self._degrade_pending:
+            self._apply_degradation()
         entry = self._resolved.get((obj_id, self.current_thread))
         if entry is None:
             entry = self._resolve(obj_id)

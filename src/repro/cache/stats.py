@@ -15,6 +15,9 @@ class SectionStats:
     #: misses satisfied by an in-flight prefetch (partially hidden latency)
     prefetch_hits: int = 0
     prefetches_issued: int = 0
+    #: evictions that threw away a prefetch still in flight (the fetched
+    #: bytes crossed the wire but were never read)
+    prefetch_wasted: int = 0
     evictions: int = 0
     #: evictions that picked a compiler-hinted evictable line
     hinted_evictions: int = 0
@@ -39,6 +42,7 @@ class SectionStats:
             "misses",
             "prefetch_hits",
             "prefetches_issued",
+            "prefetch_wasted",
             "evictions",
             "hinted_evictions",
             "writebacks",

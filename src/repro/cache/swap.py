@@ -120,6 +120,9 @@ class SwapSection:
                             wait=wait,
                         )
                     return False
+                # prefetch settled: clear the marker so eviction sees a
+                # plain resident page, not a stale in-flight one
+                entry.ready_at = 0.0
             stats.hits += 1
             tr = self.tracer
             if tr is not None:
@@ -216,7 +219,9 @@ class SwapSection:
 
     def resize(self, size_bytes: int) -> None:
         """Grow or shrink the page pool; shrinking evicts LRU pages."""
-        self.capacity_pages = max(1, size_bytes // PAGE_SIZE)
+        if size_bytes < PAGE_SIZE:
+            raise ConfigError("swap section needs at least one page")
+        self.capacity_pages = size_bytes // PAGE_SIZE
         while len(self._pages) > self.capacity_pages:
             self._evict_one()
 
@@ -231,16 +236,38 @@ class SwapSection:
             self._evict_one()
 
     def _evict_one(self) -> None:
+        pages = self._pages
+        wasted = False
         if self._evictable:
             page = next(iter(self._evictable))
             del self._evictable[page]
-            entry = self._pages.pop(page)
+            entry = pages.pop(page)
             self.stats.hinted_evictions += 1
             hinted = True
+            if entry.ready_at and entry.ready_at > self.clock.now:
+                wasted = True
         else:
-            page, entry = self._pages.popitem(last=False)
+            page = next(iter(pages))
+            entry = pages[page]
+            if entry.ready_at and entry.ready_at > self.clock.now:
+                # the LRU head's prefetch is still in flight: prefer a
+                # settled victim so the fetch is not thrown away unread
+                now = self.clock.now
+                victim = None
+                for p, e in pages.items():
+                    if not e.ready_at or e.ready_at <= now:
+                        victim = p
+                        break
+                if victim is not None:
+                    page = victim
+                    entry = pages[page]
+                else:
+                    wasted = True  # every page is in flight: one must go
+            del pages[page]
             self._evictable.pop(page, None)
             hinted = False
+        if wasted:
+            self.stats.prefetch_wasted += 1
         self.stats.evictions += 1
         tr = self.tracer
         if tr is not None:

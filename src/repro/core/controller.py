@@ -78,6 +78,7 @@ class MiraController:
         num_threads: int = 1,
         min_gain: float = 0.02,
         tracer=None,
+        faults=None,
     ) -> None:
         self.build_module = build_module
         self.cost = cost
@@ -91,6 +92,10 @@ class MiraController:
         #: optional :class:`repro.obs.Tracer`; traces every internal run
         #: and records one ``ctrl.iter`` event per optimization round
         self.tracer = tracer
+        #: optional :class:`repro.faults.FaultPlan` applied to every
+        #: internal run (each gets a fresh injector seeded from the plan,
+        #: so iterations are mutually deterministic)
+        self.faults = faults
 
     # -- main loop -----------------------------------------------------------
 
@@ -172,6 +177,7 @@ class MiraController:
             entry=self.entry,
             num_threads=self.num_threads,
             tracer=self.tracer,
+            faults=self.faults,
         )
 
     def _trace_iter(self, k: int, measured: float, accepted: bool) -> None:

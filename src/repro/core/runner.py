@@ -26,11 +26,14 @@ def run_plan(
     entry: str = "main",
     num_threads: int = 1,
     tracer=None,
+    faults=None,
 ) -> RunResult:
     """Run a pipeline-compiled module on the Mira runtime.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) records every cache, network,
     and runtime event of the run; None (the default) disables tracing.
+    ``faults`` (a :class:`repro.faults.FaultPlan`) injects seeded network
+    and far-node faults; None (the default) runs a healthy machine.
     """
     from repro.memsim.resources import SerialResource
 
@@ -39,6 +42,8 @@ def run_plan(
     if tracer is not None:
         # attach before sections open so sec.open events are captured
         manager.set_tracer(tracer)
+    if faults is not None:
+        manager.enable_faults(faults)
     plan: MiraPlan = compiled.attrs.get("plan", MiraPlan.swap_only())
     for sp in plan.sections:
         manager.open_section(sp.config, [], per_thread=sp.per_thread)
@@ -54,9 +59,12 @@ def run_on_baseline(
     data_init: DataInit | None = None,
     entry: str = "main",
     tracer=None,
+    faults=None,
 ) -> RunResult:
     """Run an (uncompiled) module on any memory system."""
     if tracer is not None:
         system.set_tracer(tracer)
+    if faults is not None:
+        system.enable_faults(faults)
     interp = Interpreter(module, system, data_init)
     return interp.run(entry)

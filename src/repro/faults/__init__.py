@@ -1,0 +1,26 @@
+"""repro.faults: seeded, deterministic fault injection for the simulator.
+
+Build a :class:`FaultPlan` (directly or via :meth:`FaultPlan.generate`),
+pass it as ``faults=`` to :func:`repro.core.run_plan` /
+:func:`repro.core.run_on_baseline` (or call
+``memsys.enable_faults(plan)`` yourself), and the run experiences message
+loss, timeouts, link-degradation windows, and far-node slowdowns -- all
+reproducible from the seed, on either execution engine, with identical
+traces.
+
+The chaos harness lives in :mod:`repro.faults.chaos` (imported lazily
+here: it depends on the bench/core layers, which depend back on memsim).
+"""
+
+from repro.faults.inject import FaultInjector, FaultStats
+from repro.faults.plan import FarWindow, FaultPlan, LinkWindow
+from repro.faults.reliability import CircuitBreaker
+
+__all__ = [
+    "CircuitBreaker",
+    "FarWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "LinkWindow",
+]

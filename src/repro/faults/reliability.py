@@ -1,0 +1,55 @@
+"""Circuit breaker over virtual time.
+
+Classic three-state breaker, but every timestamp is a virtual-clock
+reading: after ``threshold`` consecutive failures the breaker opens and
+network ops fail fast (no injection, no retries, just the transfer at
+whatever the degraded link costs); after ``cooldown_ns`` of virtual time
+a single half-open probe is allowed through -- success closes the
+breaker, failure re-opens it for another cooldown.
+"""
+
+from __future__ import annotations
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    __slots__ = ("threshold", "cooldown_ns", "state", "failures", "opened_at", "trips")
+
+    def __init__(self, threshold: int, cooldown_ns: float) -> None:
+        self.threshold = threshold
+        self.cooldown_ns = cooldown_ns
+        self.state = CLOSED
+        #: consecutive failures since the last success
+        self.failures = 0
+        self.opened_at = 0.0
+        #: times the breaker transitioned closed/half-open -> open
+        self.trips = 0
+
+    def allows(self, now: float) -> bool:
+        """May an op attempt delivery at virtual time ``now``?"""
+        if self.state is CLOSED:
+            return True
+        if self.state is OPEN:
+            if now - self.opened_at >= self.cooldown_ns:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True  # half-open: the probe is in flight
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = CLOSED
+
+    def record_failure(self, now: float) -> bool:
+        """Count one failure; returns True iff the breaker just tripped."""
+        self.failures += 1
+        if self.state is HALF_OPEN or self.failures >= self.threshold:
+            self.state = OPEN
+            self.opened_at = now
+            self.failures = 0
+            self.trips += 1
+            return True
+        return False

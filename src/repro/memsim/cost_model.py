@@ -52,6 +52,13 @@ class CostModel:
     two_sided_msg_ns: float = 400.0
     #: per-byte copy cost on the far node for two-sided messages
     two_sided_copy_bpns: float = 12.0
+    #: per-op detection timeout under fault injection: how long the sender
+    #: waits before declaring a message lost (default for
+    #: :class:`repro.faults.FaultPlan.timeout_ns`)
+    net_timeout_ns: float = 50_000.0
+    #: first-retry backoff under fault injection (default for
+    #: :class:`repro.faults.FaultPlan.backoff_base_ns`)
+    net_backoff_base_ns: float = 10_000.0
 
     # --- kernel swap path (FastSwap / Leap substrate) ---------------------
     #: page-fault trap + kernel swap path (FastSwap's optimized datapath)

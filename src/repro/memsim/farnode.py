@@ -81,6 +81,12 @@ class FarMemoryNode:
         self.cost = cost
         self.remote_allocator = RemoteAllocator(capacity)
         self.local_allocator = LocalAllocator(self.remote_allocator)
+        #: per-run :class:`repro.faults.FaultInjector` (slowdown windows
+        #: scale offload compute); None when healthy
+        self.faults = None
+        #: the owning system's virtual clock, used only to locate the
+        #: current time inside fault windows
+        self.clock = None
 
     def allocate(self, size: int) -> int:
         """Allocate ``size`` bytes of far memory; returns the far VA."""
@@ -89,7 +95,11 @@ class FarMemoryNode:
     def compute_ns(self, local_equiv_ns: float) -> float:
         """Time for the far node's weaker CPU to do work that would take
         ``local_equiv_ns`` on the compute node."""
-        return local_equiv_ns * self.cost.far_cpu_slowdown
+        ns = local_equiv_ns * self.cost.far_cpu_slowdown
+        flt = self.faults
+        if flt is not None and self.clock is not None:
+            ns *= flt.far_scale(self.clock.now)
+        return ns
 
     @property
     def used_bytes(self) -> int:

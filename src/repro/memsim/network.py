@@ -19,6 +19,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.faults.reliability import CircuitBreaker
 from repro.memsim.clock import VirtualClock
 from repro.memsim.cost_model import CostModel
 
@@ -81,6 +82,14 @@ class Network:
         #: active threads sharing the link (set by the thread simulator);
         #: each sees 1/contention of the bandwidth
         self.contention: int = 1
+        #: attached :class:`repro.faults.FaultInjector`, or None (healthy
+        #: link); installed per run via :meth:`install_faults`
+        self.faults = None
+        #: circuit breaker built from the fault plan (None when healthy)
+        self.breaker = None
+        #: callback fired (with the op name) when the breaker trips open;
+        #: the cache manager hooks this to trigger graceful degradation
+        self.on_persistent_failure = None
         # per-transfer constants, resolved once (per-access path)
         self._bw_bpns = cost.net_bandwidth_bpns
         self._rtt_ns = cost.net_rtt_ns
@@ -91,38 +100,45 @@ class Network:
     # -- synchronous ops ---------------------------------------------------
 
     def read(self, nbytes: int, one_sided: bool = True) -> float:
-        """Synchronously fetch ``nbytes``; advances the clock; returns cost."""
-        ns = self._latency(nbytes, one_sided)
+        """Synchronously fetch ``nbytes``; advances the clock; returns the
+        total stall (link queue wait + transfer)."""
+        if self.faults is not None:
+            return self._sync_faulty(nbytes, one_sided, is_write=False)
         kind = TransferKind.ONE_SIDED_READ if one_sided else TransferKind.TWO_SIDED
         stats = self.stats  # record() inlined: per-transfer path
         stats.messages += 1
         by_kind = stats.by_kind
         by_kind[kind] = by_kind.get(kind, 0) + nbytes
         stats.bytes_read += nbytes
+        wait = self._drain_link() if self._link_free_at > 0.0 else 0.0
+        ns = self._latency(nbytes, one_sided)
         self.clock.advance(ns, "net_read")
         tr = self.tracer
         if tr is not None:
             tr.emit(
                 "net.recv", self.clock.now, bytes=nbytes, one_sided=one_sided, ns=ns
             )
-        return ns
+        return wait + ns
 
     def write(self, nbytes: int, one_sided: bool = True) -> float:
         """Synchronously write ``nbytes`` to far memory."""
-        ns = self._latency(nbytes, one_sided)
+        if self.faults is not None:
+            return self._sync_faulty(nbytes, one_sided, is_write=True)
         kind = TransferKind.ONE_SIDED_WRITE if one_sided else TransferKind.TWO_SIDED
         stats = self.stats
         stats.messages += 1
         by_kind = stats.by_kind
         by_kind[kind] = by_kind.get(kind, 0) + nbytes
         stats.bytes_written += nbytes
+        wait = self._drain_link() if self._link_free_at > 0.0 else 0.0
+        ns = self._latency(nbytes, one_sided)
         self.clock.advance(ns, "net_write")
         tr = self.tracer
         if tr is not None:
             tr.emit(
                 "net.send", self.clock.now, bytes=nbytes, one_sided=one_sided, ns=ns
             )
-        return ns
+        return wait + ns
 
     def write_async(self, nbytes: int, one_sided: bool = True) -> float:
         """Issue a write that completes in the background (eviction
@@ -134,7 +150,10 @@ class Network:
         by_kind = stats.by_kind
         by_kind[kind] = by_kind.get(kind, 0) + nbytes
         stats.bytes_written += nbytes
-        ready = self._schedule(nbytes, one_sided)
+        if self.faults is None:
+            ready = self._schedule(nbytes, one_sided)
+        else:
+            ready = self._schedule_faulty(nbytes, one_sided, "write_async")
         self.clock.advance(self._issue_ns, "net_issue")
         tr = self.tracer
         if tr is not None:
@@ -155,7 +174,10 @@ class Network:
         by_kind = stats.by_kind
         by_kind[kind] = by_kind.get(kind, 0) + nbytes
         stats.bytes_read += nbytes
-        ready = self._schedule(nbytes, one_sided)
+        if self.faults is None:
+            ready = self._schedule(nbytes, one_sided)
+        else:
+            ready = self._schedule_faulty(nbytes, one_sided, "read_async")
         self.clock.advance(self._issue_ns, "net_issue")
         tr = self.tracer
         if tr is not None:
@@ -170,19 +192,194 @@ class Network:
 
     def rpc(self, request_bytes: int, response_bytes: int) -> float:
         """A two-sided RPC round trip (function offloading)."""
-        ns = (
-            self.cost.rpc_ns
-            + self.cost.transfer_ns(request_bytes + response_bytes)
-            + self.cost.two_sided_msg_ns
-        )
-        self.stats.record(TransferKind.RPC, request_bytes + response_bytes, False)
+        total = request_bytes + response_bytes
+        stats = self.stats
+        stats.messages += 1
+        by_kind = stats.by_kind
+        by_kind[TransferKind.RPC] = by_kind.get(TransferKind.RPC, 0) + total
+        # the request travels out, the response travels back
+        stats.bytes_written += request_bytes
+        stats.bytes_read += response_bytes
+        flt = self.faults
+        penalty = 0.0
+        if flt is None:
+            ns = (
+                self.cost.rpc_ns
+                + self.cost.transfer_ns(total)
+                + self.cost.two_sided_msg_ns
+            )
+        else:
+            penalty = self._fault_penalty("rpc")
+            now = self.clock.now
+            bw_scale, _ = flt.link_scales(now)
+            far = flt.far_scale(now)
+            ns = (
+                self.cost.rpc_ns * far
+                + self.cost.transfer_ns(total) * bw_scale
+                + self.cost.two_sided_msg_ns * far
+            )
         self.clock.advance(ns, "rpc")
         tr = self.tracer
         if tr is not None:
             tr.emit(
                 "net.rpc", self.clock.now, req=request_bytes, resp=response_bytes, ns=ns
             )
-        return ns
+        return penalty + ns
+
+    # -- fault injection / reliability -------------------------------------
+
+    def install_faults(self, injector) -> None:
+        """Attach a per-run :class:`repro.faults.FaultInjector` (None to
+        disable).  Builds the circuit breaker from the injector's plan."""
+        self.faults = injector
+        if injector is None:
+            self.breaker = None
+            return
+        plan = injector.plan
+        self.breaker = CircuitBreaker(plan.breaker_threshold, plan.breaker_cooldown_ns)
+
+    def _drain_link(self) -> float:
+        """An async transfer booked the wire: a sync op starts no earlier
+        than the link is free.  Returns the queue wait charged."""
+        clock = self.clock
+        now = clock.now
+        free_at = self._link_free_at
+        self._link_free_at = 0.0
+        if free_at > now:
+            clock.wait_until(free_at, "net_wait")
+            return free_at - now
+        return 0.0
+
+    def _sync_faulty(self, nbytes: int, one_sided: bool, is_write: bool) -> float:
+        """Sync transfer under fault injection: queue wait, then the
+        detect/retry/backoff/breaker loop, then the transfer at whatever
+        the degraded link costs.  Completion is eventually forced -- the
+        data is simulated, so a given-up op still produces its bytes and
+        the cost model charges the whole ordeal."""
+        if is_write:
+            kind = TransferKind.ONE_SIDED_WRITE if one_sided else TransferKind.TWO_SIDED
+            cat, ev, op = "net_write", "net.send", "write"
+        else:
+            kind = TransferKind.ONE_SIDED_READ if one_sided else TransferKind.TWO_SIDED
+            cat, ev, op = "net_read", "net.recv", "read"
+        stats = self.stats
+        stats.messages += 1
+        by_kind = stats.by_kind
+        by_kind[kind] = by_kind.get(kind, 0) + nbytes
+        if is_write:
+            stats.bytes_written += nbytes
+        else:
+            stats.bytes_read += nbytes
+        wait = self._drain_link() if self._link_free_at > 0.0 else 0.0
+        penalty = self._fault_penalty(op)
+        clock = self.clock
+        ns = self._latency_faulty(nbytes, one_sided, clock.now)
+        clock.advance(ns, cat)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(ev, clock.now, bytes=nbytes, one_sided=one_sided, ns=ns)
+        return wait + penalty + ns
+
+    def _fault_penalty(self, op: str) -> float:
+        """The reliability loop for one sync op: roll for a fault, pay the
+        detection timeout, back off exponentially, retry up to the plan's
+        budget; consecutive failures trip the circuit breaker, which fails
+        fast while open and reports upward via ``on_persistent_failure``.
+        Charges the clock; returns the total penalty in virtual ns."""
+        flt = self.faults
+        plan = flt.plan
+        fstats = flt.stats
+        br = self.breaker
+        clock = self.clock
+        tr = self.tracer
+        timeout_ns = plan.timeout_ns
+        penalty = 0.0
+        attempt = 0
+        while True:
+            attempt += 1
+            if not br.allows(clock.now):
+                # breaker open: fail fast -- no injection, no retries; the
+                # caller proceeds straight to the (degraded) transfer
+                fstats.fast_fails += 1
+                return penalty
+            fault = flt.roll()
+            if fault is None:
+                br.record_success()
+                return penalty
+            if tr is not None:
+                tr.emit("fault.inject", clock.now, op=op, fault=fault, attempt=attempt)
+            clock.advance(timeout_ns, "net_timeout")
+            penalty += timeout_ns
+            fstats.timeout_wait_ns += timeout_ns
+            if br.record_failure(clock.now):
+                fstats.breaker_trips += 1
+                if tr is not None:
+                    tr.emit("fault.breaker", clock.now, op=op, trips=br.trips)
+                cb = self.on_persistent_failure
+                if cb is not None:
+                    cb(op)
+                return penalty
+            if attempt > plan.max_retries:
+                fstats.giveups += 1
+                if tr is not None:
+                    tr.emit("fault.giveup", clock.now, op=op, attempts=attempt)
+                return penalty
+            backoff = plan.backoff_ns(attempt)
+            fstats.retries += 1
+            fstats.backoff_ns += backoff
+            if tr is not None:
+                tr.emit(
+                    "retry.attempt", clock.now, op=op, attempt=attempt, backoff=backoff
+                )
+            clock.advance(backoff, "net_backoff")
+            penalty += backoff
+
+    def _latency_faulty(self, nbytes: int, one_sided: bool, now: float) -> float:
+        """Like :meth:`_latency`, with active degradation windows applied."""
+        flt = self.faults
+        bw_scale, rtt_scale = flt.link_scales(now)
+        transfer = nbytes / self._bw_bpns * bw_scale
+        wire_scale = self.contention
+        extra = transfer * (wire_scale - 1) if wire_scale > 1 else 0.0
+        rtt = self._rtt_ns * rtt_scale
+        if one_sided:
+            return rtt + transfer + extra
+        far = flt.far_scale(now)
+        return rtt + transfer + (self._msg_ns + nbytes / self._copy_bpns) * far + extra
+
+    def _schedule_faulty(self, nbytes: int, one_sided: bool, op: str) -> float:
+        """Like :meth:`_schedule`, under fault injection.  Async transfers
+        absorb faults into their completion time: a lost issue is detected
+        and re-issued in the background, so the timeout + one backoff land
+        on ``ready`` instead of stalling the issuing thread.  Async faults
+        do not touch the circuit breaker (no synchronous failure signal)."""
+        flt = self.faults
+        clock = self.clock
+        now = clock.now
+        penalty = 0.0
+        fault = flt.roll()
+        if fault is not None:
+            plan = flt.plan
+            backoff = plan.backoff_ns(1)
+            penalty = plan.timeout_ns + backoff
+            fstats = flt.stats
+            fstats.retries += 1
+            fstats.backoff_ns += backoff
+            fstats.timeout_wait_ns += plan.timeout_ns
+            tr = self.tracer
+            if tr is not None:
+                tr.emit("fault.inject", now, op=op, fault=fault, attempt=1)
+                tr.emit("retry.attempt", now, op=op, attempt=1, backoff=backoff)
+        bw_scale, rtt_scale = flt.link_scales(now)
+        free_at = self._link_free_at
+        start = free_at if free_at > now else now
+        scale = self.contention
+        wire = nbytes / self._bw_bpns * bw_scale * (scale if scale > 1 else 1)
+        self._link_free_at = start + wire
+        base = self._rtt_ns * rtt_scale
+        if not one_sided:
+            base += (self._msg_ns + nbytes / self._copy_bpns) * flt.far_scale(now)
+        return start + base + wire + penalty
 
     # -- internals ---------------------------------------------------------
 

@@ -130,6 +130,9 @@ def collect_run_metrics(result, registry: MetricsRegistry | None = None) -> Metr
     memsys = result.memsys
     memsys.network.stats.publish(reg)
     memsys.far_node.publish_metrics(reg)
+    faults = getattr(memsys.network, "faults", None)
+    if faults is not None:
+        faults.stats.publish(reg)
     reg.gauge("mem.metadata_bytes").set(memsys.metadata_bytes())
     collect = getattr(memsys, "collect_section_stats", None)
     if collect is not None:

@@ -118,6 +118,44 @@ def section_summary(events: list[dict]) -> dict[str, dict]:
     return out
 
 
+def fault_summary(events: list[dict]) -> dict:
+    """Aggregate the fault/retry/degradation story of a trace.
+
+    Returns zeros when the run was healthy; the renderer shows the block
+    only when something actually went wrong.
+    """
+    out = {
+        "injected": 0,
+        "losses": 0,
+        "timeouts": 0,
+        "retries": 0,
+        "backoff_ns": 0.0,
+        "giveups": 0,
+        "breaker_trips": 0,
+        "degradations": [],
+    }
+    for ev in events:
+        kind = ev["k"]
+        if kind == "fault.inject":
+            out["injected"] += 1
+            if ev.get("fault") == "loss":
+                out["losses"] += 1
+            else:
+                out["timeouts"] += 1
+        elif kind == "retry.attempt":
+            out["retries"] += 1
+            out["backoff_ns"] += ev.get("backoff", 0.0)
+        elif kind == "fault.giveup":
+            out["giveups"] += 1
+        elif kind == "fault.breaker":
+            out["breaker_trips"] += 1
+        elif kind == "degrade.section":
+            out["degradations"].append(
+                {"t": ev["t"], "sec": ev.get("sec", "?"), "action": ev.get("action", "?")}
+            )
+    return out
+
+
 def event_counts(events: list[dict]) -> dict[str, int]:
     counts: dict[str, int] = {}
     for ev in events:
@@ -139,6 +177,22 @@ def render_report(
     lines.append(
         "kinds: " + ", ".join(f"{k}={n}" for k, n in counts.items())
     )
+    faults = fault_summary(events)
+    if faults["injected"] or faults["degradations"] or faults["breaker_trips"]:
+        lines.append("")
+        lines.append(
+            "fault summary: "
+            f"{faults['injected']} injected "
+            f"({faults['losses']} loss / {faults['timeouts']} timeout), "
+            f"{faults['retries']} retries "
+            f"({faults['backoff_ns']:.0f} ns backoff), "
+            f"{faults['giveups']} giveups, "
+            f"{faults['breaker_trips']} breaker trips"
+        )
+        for d in faults["degradations"]:
+            lines.append(
+                f"  degraded: {d['action']} sec={d['sec']} at t={d['t']:.0f}"
+            )
     if phases:
         lines.append("")
         lines.append(format_phase_timeline(phase_timeline(events)))

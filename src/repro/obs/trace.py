@@ -75,6 +75,15 @@ KINDS = frozenset(
         "prof.snapshot",
         # controller decisions
         "ctrl.iter",
+        # fault injection / reliability layer (repro.faults): an injected
+        # fault detected via timeout, a retry after backoff, the circuit
+        # breaker tripping open, an op exhausting its retry budget
+        "fault.inject",
+        "retry.attempt",
+        "fault.breaker",
+        "fault.giveup",
+        # graceful degradation applied by the cache manager
+        "degrade.section",
     }
 )
 

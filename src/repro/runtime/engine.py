@@ -27,6 +27,14 @@ Rare ops with complicated bookkeeping (alloc/dealloc, sections, profiling
 markers, discard, batched prefetch) delegate to the reference handlers --
 they are off the hot path, and delegation keeps one source of truth.
 
+Fault injection (``repro.faults``) needs no engine-specific code: the
+injector's RNG is consumed, and every ``fault.*``/``retry.*`` trace event
+emitted, inside the shared :class:`~repro.memsim.network.Network` and
+:class:`~repro.memsim.farnode.FarMemoryNode` methods that both engines
+call in the same order at the same virtual times -- so the parity
+contract (including byte-identical traces) holds under a seeded fault
+plan by construction, and the parity suite exercises exactly that.
+
 Select the engine with ``REPRO_ENGINE`` (``compiled`` is the default;
 ``reference`` opts out and keeps the original interpreter).
 """

@@ -16,6 +16,12 @@ meaningful):
   ``far_cpu_slowdown``, memory accesses are local to the far node (DRAM
   only, no network), and the call pays an RPC plus pre-call flushes
   (section 4.8).
+
+Fault injection lives entirely below this layer: when a run installs a
+:class:`~repro.faults.FaultPlan`, the timeout/retry/backoff/breaker
+machinery (and its trace events) runs inside the shared network and
+far-node code, so the interpreter and the compiled engine stay
+byte-identical under faults without any mirrored emission points here.
 """
 
 from __future__ import annotations

@@ -251,6 +251,90 @@ def test_fuzz_engines_bit_identical_deep(seed, monkeypatch):
     _assert_fuzz_parity(seed)
 
 
+# -- parity under fault injection --------------------------------------------
+#
+# The fault injector consumes its RNG only inside shared Network/FarNode
+# code, which both engines call in identical order at identical virtual
+# times -- so a seeded fault plan must leave the engines byte-identical:
+# same results, same elapsed time, same breakdown (including the
+# net_timeout/net_backoff categories), same JSONL trace digest.
+
+
+def _faulty_fingerprint(name: str, system: str, plan, engine: str) -> dict:
+    import os
+
+    from repro.faults.chaos import CHAOS_WORKLOADS
+
+    os.environ["REPRO_ENGINE"] = engine
+    try:
+        workload = make_workload(name, **CHAOS_WORKLOADS[name])
+        memo = ModuleMemo(workload)
+        local = max(4096, int(memo.footprint_bytes * 0.25))
+        tracer = Tracer()
+        if system == "mira":
+            controller = MiraController(
+                memo.fresh,
+                COST,
+                local,
+                data_init=workload.data_init,
+                entry=workload.entry,
+                max_iterations=1,
+            )
+            program = controller.optimize()
+            result = run_plan(
+                program.module, COST, local, data_init=workload.data_init,
+                entry=workload.entry, tracer=tracer, faults=plan,
+            )
+        else:
+            result = run_on_baseline(
+                memo.module,
+                BASELINE_SYSTEMS[system](COST, local),
+                workload.data_init,
+                entry=workload.entry,
+                tracer=tracer,
+                faults=plan,
+            )
+        workload.verify_results(result.results)
+        stats = result.memsys.network.faults.stats
+        return {
+            "results": list(result.results),
+            "elapsed_ns": result.elapsed_ns,
+            "breakdown": result.breakdown,
+            "trace_digest": tracer.digest(),
+            "trace_events": len(tracer),
+            "fault_stats": vars(stats).copy(),
+        }
+    finally:
+        os.environ.pop("REPRO_ENGINE", None)
+
+
+@pytest.mark.parametrize("system", ("fastswap", "mira"))
+@pytest.mark.parametrize("name", ("graph_traversal", "mcf"))
+def test_engines_bit_identical_under_faults(name, system, monkeypatch):
+    from repro.faults import FaultPlan
+
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    plan = FaultPlan.generate(1, intensity="medium", horizon_ns=2e7)
+    reference = _faulty_fingerprint(name, system, plan, "reference")
+    compiled = _faulty_fingerprint(name, system, plan, "compiled")
+    assert reference == compiled, f"{name}/{system}: engines diverge under faults"
+    # the plan actually did something, on both engines identically
+    assert reference["fault_stats"]["retries"] > 0
+    assert reference["breakdown"].get("net_timeout", 0.0) > 0.0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", (2, 3, 4))
+def test_fault_parity_across_seeds(seed, monkeypatch):
+    from repro.faults import FaultPlan
+
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    plan = FaultPlan.generate(seed, intensity="heavy", horizon_ns=2e7)
+    reference = _faulty_fingerprint("graph_traversal", "mira", plan, "reference")
+    compiled = _faulty_fingerprint("graph_traversal", "mira", plan, "compiled")
+    assert reference == compiled
+
+
 def test_engine_selection(monkeypatch):
     """The env knob actually selects the engine (guards against a future
     regression silently running reference twice)."""

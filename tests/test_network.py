@@ -52,3 +52,41 @@ def test_rpc_charges_round_trip(network, clock, cost):
     assert ns >= cost.rpc_ns
     assert clock.now == pytest.approx(ns)
     assert network.stats.by_kind[TransferKind.RPC] == 192
+
+
+def test_rpc_splits_direction_counters(network):
+    # regression (S2): the request travels out, the response travels back
+    network.rpc(128, 64)
+    assert network.stats.bytes_written == 128
+    assert network.stats.bytes_read == 64
+    assert network.stats.messages == 1
+
+
+def test_sync_read_waits_for_booked_link(network, clock, cost):
+    # regression (S1): a sync op must queue behind wire time booked by an
+    # earlier async transfer, not teleport past it
+    network.read_async(1 << 20)
+    stall = network.read(4096)
+    expected_end = cost.transfer_ns(1 << 20) + cost.one_sided_ns(4096)
+    assert clock.now == pytest.approx(expected_end)
+    # the return value includes the queue wait, not just the transfer
+    assert stall == pytest.approx(expected_end - cost.cpu_op_ns)
+    assert clock.breakdown().get("net_wait", 0.0) > 0.0
+
+
+def test_sync_write_waits_for_booked_link(network, clock, cost):
+    network.write_async(1 << 20)
+    network.write(4096)
+    assert clock.now == pytest.approx(
+        cost.transfer_ns(1 << 20) + cost.one_sided_ns(4096)
+    )
+
+
+def test_sync_op_on_idle_link_pays_no_wait(network, clock, cost):
+    # the drained link resets: a later sync op on an idle wire is unchanged
+    network.read_async(1 << 20)
+    network.read(4096)
+    t = clock.now
+    ns = network.read(4096)
+    assert ns == pytest.approx(cost.one_sided_ns(4096))
+    assert clock.now == pytest.approx(t + ns)

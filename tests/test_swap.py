@@ -130,6 +130,60 @@ def test_extra_fault_cost():
     assert clock_slow.now == pytest.approx(clock_fast.now + 10_000.0)
 
 
+def test_eviction_prefers_settled_victim():
+    # regression (S3): the LRU head's prefetch is still in flight; eviction
+    # must pick a settled page instead of throwing the fetch away unread
+    swap, _ = _swap(pages=2)
+    swap.access(1 * PAGE_SIZE, 8, False)  # settled resident page
+    swap.prefetch(0)                      # fetch in flight
+    swap.access(1 * PAGE_SIZE, 8, False)  # hit: page 0 becomes the LRU head
+    swap.access(2 * PAGE_SIZE, 8, False)  # forces an eviction
+    assert swap.contains(0)               # the in-flight prefetch survived
+    assert not swap.contains(1)
+    assert swap.stats.prefetch_wasted == 0
+
+
+def test_evicting_inflight_page_counts_wasted():
+    swap, _ = _swap(pages=2)
+    swap.prefetch(0)
+    swap.prefetch(1)
+    swap.access(2 * PAGE_SIZE, 8, False)  # every page in flight: one must go
+    assert not swap.contains(0)
+    assert swap.stats.prefetch_wasted == 1
+
+
+def test_hinted_eviction_of_inflight_page_counts_wasted():
+    swap, _ = _swap(pages=2)
+    swap.prefetch(0)
+    swap.prefetch(1)
+    swap.evict_hint(0, 8)     # hint the page whose fetch is still in flight
+    swap.resize(PAGE_SIZE)    # shrink while both fetches are airborne
+    assert swap.stats.hinted_evictions == 1
+    assert swap.stats.prefetch_wasted == 1
+
+
+def test_settled_prefetch_not_counted_wasted():
+    swap, clock = _swap(pages=2)
+    swap.prefetch(0)
+    clock.advance(1e7, "compute")         # the prefetch lands
+    swap.access(0, 8, False)              # touch clears the in-flight marker
+    swap.access(1 * PAGE_SIZE, 8, False)
+    swap.access(2 * PAGE_SIZE, 8, False)  # evicts page 0 (plain LRU)
+    assert not swap.contains(0)
+    assert swap.stats.prefetch_wasted == 0
+
+
+def test_resize_below_page_size_raises():
+    # regression (S4): resize must validate like __init__, not quietly
+    # zero the capacity
+    swap, _ = _swap()
+    with pytest.raises(ConfigError):
+        swap.resize(100)
+    with pytest.raises(ConfigError):
+        swap.resize(0)
+    assert swap.capacity_pages == 4  # the failed resize changed nothing
+
+
 def test_metadata_scales_with_resident_pages():
     swap, _ = _swap()
     assert swap.metadata_bytes() == 0
