@@ -145,6 +145,12 @@ def measure_single_point(repeats: int) -> dict:
     assert elapsed["reference"] == elapsed["compiled"], (
         f"engines diverge in virtual time: {elapsed}"
     )
+    # deterministic virtual times, hard-gated by repro.obs.regress
+    out["virtual_ns"] = {
+        "native": elapsed["compiled"]["native"],
+        f"fastswap@{SINGLE_RATIO}": elapsed["compiled"]["fastswap"],
+        f"mira@{SINGLE_RATIO}": elapsed["compiled"]["mira"],
+    }
     out["total_reference_s"] = round(sum(out["reference"].values()), 4)
     out["total_compiled_s"] = round(sum(out["compiled"].values()), 4)
     out["speedup"] = round(out["total_reference_s"] / out["total_compiled_s"], 2)

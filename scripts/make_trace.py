@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Run one workload on one system with tracing on and write the JSONL.
+
+The produced file feeds straight into the analysis CLI::
+
+    PYTHONPATH=src python scripts/make_trace.py \
+        --workload graph_traversal --system mira --out trace.jsonl
+    PYTHONPATH=src python -m repro.obs.report trace.jsonl --attribution
+    PYTHONPATH=src python -m repro.obs.report trace.jsonl --flame --out trace.folded
+
+Systems: any baseline in ``BASELINE_SYSTEMS`` (fastswap, leap, aifm,
+native) or ``mira`` (full controller, traced end to end).  The digest is
+printed so runs can be compared for behavioral identity at a glance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.baselines import NativeMemory
+from repro.bench.harness import BASELINE_SYSTEMS, ModuleMemo
+from repro.core import MiraController, run_on_baseline, run_plan
+from repro.memsim.cost_model import CostModel
+from repro.obs import Tracer
+from repro.workloads import WORKLOAD_FACTORIES, make_workload
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--workload", default="array_sum", choices=sorted(WORKLOAD_FACTORIES)
+    )
+    ap.add_argument(
+        "--system",
+        default="mira",
+        choices=sorted([*BASELINE_SYSTEMS, "native", "mira"]),
+    )
+    ap.add_argument(
+        "--ratio",
+        type=float,
+        default=0.5,
+        help="local-memory ratio (fraction of the workload footprint)",
+    )
+    ap.add_argument("--out", default="trace.jsonl")
+    ap.add_argument(
+        "--iterations", type=int, default=1, help="mira controller iterations"
+    )
+    args = ap.parse_args(argv)
+
+    cost = CostModel()
+    workload = make_workload(args.workload)
+    memo = ModuleMemo(workload)
+    local = max(4096, int(memo.footprint_bytes * args.ratio))
+    tracer = Tracer(
+        meta={"workload": args.workload, "system": args.system, "ratio": args.ratio}
+    )
+    if args.system == "native":
+        result = run_on_baseline(
+            memo.module,
+            NativeMemory(cost, 2 * memo.footprint_bytes + (1 << 20)),
+            workload.data_init,
+            entry=workload.entry,
+            tracer=tracer,
+        )
+    elif args.system == "mira":
+        controller = MiraController(
+            memo.fresh,
+            cost,
+            local,
+            data_init=workload.data_init,
+            entry=workload.entry,
+            max_iterations=args.iterations,
+            tracer=tracer,
+        )
+        program = controller.optimize()
+        result = run_plan(
+            program.module,
+            cost,
+            local,
+            data_init=workload.data_init,
+            entry=workload.entry,
+            tracer=tracer,
+        )
+    else:
+        result = run_on_baseline(
+            memo.module,
+            BASELINE_SYSTEMS[args.system](cost, local),
+            workload.data_init,
+            entry=workload.entry,
+            tracer=tracer,
+        )
+    workload.verify_results(result.results)
+    tracer.write_jsonl(args.out)
+    print(
+        f"{args.workload} on {args.system}@{args.ratio}: "
+        f"{len(tracer)} events, {result.elapsed_ns:.0f} virtual ns"
+    )
+    print(f"wrote {args.out} (digest {tracer.digest()})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -119,7 +119,12 @@ class AIFM(MemorySystem):
             tr = self.tracer
             if tr is not None:
                 tr.emit(
-                    "cache.hit", self.clock.now, sec="aifm", obj=obj.obj_id, line=chunk
+                    "cache.hit",
+                    self.clock.now,
+                    sec="aifm",
+                    obj=obj.obj_id,
+                    line=chunk,
+                    ov=deref_ns,
                 )
             return
         # miss: evict until the whole object fits, then fetch it entirely
@@ -150,6 +155,7 @@ class AIFM(MemorySystem):
                 line=chunk,
                 wait=wait + miss_extra,
                 write=is_write,
+                ov=self._deref_ns,
             )
 
     def _evict_one(self) -> None:
@@ -169,6 +175,7 @@ class AIFM(MemorySystem):
                 line=key[1],
                 dirty=dirty,
                 hinted=False,
+                ov=self.cost.evict_overhead_ns,
             )
         if dirty:
             self.network.write_async(chunk_size, one_sided=True)

@@ -188,6 +188,12 @@ class CacheManager(MemorySystem):
                 line=config.line_size,
                 structure=config.structure.value,
                 ways=config.ways,
+                # per-access overhead constants, carried so trace analysis
+                # (repro.obs.analyze) can attribute hit/insert/evict time
+                # without reaching back into the cost model
+                hit_ov=section._hit_overhead,
+                ins_ov=section._insert_overhead,
+                ev_ov=section._evict_overhead,
             )
         return section
 

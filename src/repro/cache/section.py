@@ -181,13 +181,25 @@ class CacheSection(abc.ABC):
             stats.hits += 1
             tr = self.tracer
             if tr is not None:
-                tr.emit(
-                    "cache.hit",
-                    self.clock.now,
-                    sec=self._name,
-                    obj=key[0],
-                    line=key[1],
-                )
+                if native:
+                    # flagged so trace analysis knows no lookup overhead
+                    # was charged for this hit (compiler-elided deref)
+                    tr.emit(
+                        "cache.hit",
+                        self.clock.now,
+                        sec=self._name,
+                        obj=key[0],
+                        line=key[1],
+                        nat=True,
+                    )
+                else:
+                    tr.emit(
+                        "cache.hit",
+                        self.clock.now,
+                        sec=self._name,
+                        obj=key[0],
+                        line=key[1],
+                    )
             return True
         # miss: synchronous fetch (skipped for whole-line writes in
         # write-no-fetch sections, section 4.5)

@@ -147,6 +147,7 @@ class SwapSection:
                 line=page,
                 wait=fault_ns + wire_ns,
                 write=is_write,
+                kern=fault_ns,
             )
         return False
 
@@ -279,6 +280,7 @@ class SwapSection:
                 line=page,
                 dirty=entry.dirty,
                 hinted=hinted,
+                wb=self.cost.page_writeback_ns if entry.dirty else 0.0,
             )
         if entry.dirty:
             self.clock.advance(self.cost.page_writeback_ns, "eviction")

@@ -183,7 +183,7 @@ class MiraController:
     def _trace_iter(self, k: int, measured: float, accepted: bool) -> None:
         tr = self.tracer
         if tr is not None:
-            tr.emit("ctrl.iter", measured, k=k, measured=measured, accepted=accepted)
+            tr.emit("ctrl.iter", measured, it=k, measured=measured, accepted=accepted)
 
     @staticmethod
     def _measured_ns(result: RunResult) -> float:

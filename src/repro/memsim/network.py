@@ -163,6 +163,7 @@ class Network:
                 bytes=nbytes,
                 one_sided=one_sided,
                 ready=ready,
+                issue=self._issue_ns,
             )
         return ready
 
@@ -187,6 +188,7 @@ class Network:
                 bytes=nbytes,
                 one_sided=one_sided,
                 ready=ready,
+                issue=self._issue_ns,
             )
         return ready
 
@@ -307,7 +309,14 @@ class Network:
                 br.record_success()
                 return penalty
             if tr is not None:
-                tr.emit("fault.inject", clock.now, op=op, fault=fault, attempt=attempt)
+                tr.emit(
+                    "fault.inject",
+                    clock.now,
+                    op=op,
+                    fault=fault,
+                    attempt=attempt,
+                    timeout=timeout_ns,
+                )
             clock.advance(timeout_ns, "net_timeout")
             penalty += timeout_ns
             fstats.timeout_wait_ns += timeout_ns

@@ -1,11 +1,18 @@
-"""``repro.obs``: structured tracing and metrics for the simulator.
+"""``repro.obs``: structured tracing, metrics, and trace analysis.
 
 * :mod:`repro.obs.trace` -- :class:`Tracer` and the stable JSONL event
   schema (deterministic digests; engine-parity enforced);
 * :mod:`repro.obs.metrics` -- :class:`MetricsRegistry`
-  (counters/gauges/histograms) that existing stats publish into;
+  (counters/gauges/histograms with exact percentiles) that existing
+  stats publish into;
+* :mod:`repro.obs.analyze` -- exclusive virtual-time attribution
+  (buckets fsum exactly to the total), critical path, collapsed-stack
+  flamegraph export;
+* :mod:`repro.obs.regress` -- perf-regression gate over the committed
+  ``BENCH_*.json`` baselines (``python -m repro.obs.regress``);
 * :mod:`repro.obs.report` -- ``python -m repro.obs.report trace.jsonl``:
-  per-phase timelines and per-section summaries from a trace.
+  timelines, summaries, ``--attribution``/``--critical-path``/``--flame``
+  views, and ``--check`` (the gate).
 
 Attach a tracer with ``run_plan(..., tracer=t)`` /
 ``run_on_baseline(..., tracer=t)`` (or ``memsys.set_tracer(t)`` before
@@ -20,7 +27,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     collect_run_metrics,
 )
-from repro.obs.trace import KINDS, SCHEMA, Tracer, digest_of_events, read_jsonl
+from repro.obs.trace import (
+    KINDS,
+    SCHEMA,
+    Tracer,
+    digest_of_events,
+    load_trace,
+    read_jsonl,
+)
 
 __all__ = [
     "Counter",
@@ -32,5 +46,6 @@ __all__ = [
     "Tracer",
     "collect_run_metrics",
     "digest_of_events",
+    "load_trace",
     "read_jsonl",
 ]

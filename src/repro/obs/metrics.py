@@ -38,15 +38,22 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary: count / sum / min / max (no stored samples)."""
+    """Summary stats over stored observations, with exact percentiles.
 
-    __slots__ = ("count", "total", "min", "max")
+    Samples are kept (metrics histograms here observe per-function or
+    per-event aggregates, thousands at most, not per-access values), so
+    ``percentile`` is exact nearest-rank over the data, not an estimate.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_dirty")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._samples: list[float] = []
+        self._dirty = False
 
     def observe(self, v: float) -> None:
         self.count += 1
@@ -55,20 +62,44 @@ class Histogram:
             self.min = v
         if v > self.max:
             self.max = v
+        self._samples.append(v)
+        self._dirty = True
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> float | None:
+        """Exact nearest-rank percentile (``p`` in [0, 100])."""
+        if not self.count:
+            return None
+        if self._dirty:
+            self._samples.sort()
+            self._dirty = False
+        rank = max(1, -(-self.count * p // 100))  # ceil without floats
+        return self._samples[int(rank) - 1]
+
     def snapshot(self) -> dict:
         if not self.count:
-            return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0}
+            return {
+                "count": 0,
+                "sum": 0.0,
+                "min": None,
+                "max": None,
+                "mean": 0.0,
+                "p50": None,
+                "p95": None,
+                "p99": None,
+            }
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
 
 
@@ -136,6 +167,7 @@ def collect_run_metrics(result, registry: MetricsRegistry | None = None) -> Metr
     reg.gauge("mem.metadata_bytes").set(memsys.metadata_bytes())
     collect = getattr(memsys, "collect_section_stats", None)
     if collect is not None:
+        miss_wait = reg.histogram("cache.section_miss_wait_ns")
         for sec_name, fields in collect().items():
             for fname, value in fields.items():
                 reg.gauge(f"cache.{sec_name}.{fname}").set(value)
@@ -144,5 +176,10 @@ def collect_run_metrics(result, registry: MetricsRegistry | None = None) -> Metr
                 reg.gauge(f"cache.{sec_name}.miss_rate").set(
                     fields.get("misses", 0) / accesses
                 )
+            if fields.get("misses"):
+                miss_wait.observe(fields.get("miss_wait_ns", 0.0))
+    func_ns = reg.histogram("func.exclusive_ns")
+    for prof in result.profiler.functions.values():
+        func_ns.observe(prof.exclusive_ns)
     result.profiler.publish(reg)
     return reg

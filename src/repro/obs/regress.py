@@ -1,0 +1,355 @@
+"""Perf-regression gate over the committed BENCH baselines.
+
+Compares fresh measurements against ``BENCH_chaos.json`` (virtual-time
+chaos cells) and ``BENCH_engine.json`` (interpreter throughput plus the
+virtual time of the Fig. 5 single points):
+
+* **virtual-time metrics are hard-gated**: the simulator is
+  deterministic, so ``healthy_ns``/``faulty_ns``/``virtual_ns`` must
+  match the baseline within a tight relative tolerance (default 1%).
+  Slower fails the gate; markedly faster is reported as an improvement
+  and a prompt to regenerate the baselines (the gate stays green).
+* **wall-clock throughput is advisory** by default: CI machines are too
+  noisy for hard wall gates, so ``ops_per_sec`` only warns unless
+  ``--strict-wall`` is given, and even then only a collapse below
+  ``--wall-ratio`` of the baseline fails.
+
+Usage::
+
+    python -m repro.obs.regress                    # measure + compare
+    python -m repro.obs.regress --current cur.json # compare canned numbers
+    python -m repro.obs.regress --save-current cur.json --json report.json
+
+Exit codes: 0 = within tolerance, 1 = regression, 2 = unreadable
+baseline/current file.  Also reachable as
+``python -m repro.obs.report --check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+
+#: default relative tolerance for deterministic virtual-time metrics
+VIRT_REL_TOL = 0.01
+#: throughput may sink to this fraction of baseline before --strict-wall fails
+WALL_RATIO = 0.35
+
+DEFAULT_WORKLOADS = ("array_sum", "graph_traversal")
+DEFAULT_SYSTEMS = ("fastswap", "mira")
+DEFAULT_SEEDS = (1,)
+DEFAULT_INTENSITIES = ("medium",)
+
+
+@dataclass
+class Check:
+    """One metric comparison."""
+
+    metric: str
+    baseline: float
+    current: float
+    rel: float  # (current - baseline) / baseline
+    tol: float
+    hard: bool
+    ok: bool
+    note: str = ""
+
+    def row(self) -> dict:
+        return dict(vars(self))
+
+
+# -- baseline I/O -----------------------------------------------------------
+
+
+def load_json(path) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def flatten_chaos(doc: dict) -> dict[str, float]:
+    """``BENCH_chaos.json`` cells -> flat {metric: virtual ns}."""
+    out: dict[str, float] = {}
+    for cell in doc.get("cells", []):
+        if not cell.get("completed"):
+            continue
+        key = (
+            f"chaos.{cell['workload']}.{cell['system']}"
+            f".s{cell['seed']}.{cell['intensity']}"
+        )
+        out[key + ".healthy_ns"] = float(cell["healthy_ns"])
+        out[key + ".faulty_ns"] = float(cell["faulty_ns"])
+    return out
+
+
+def flatten_engine(doc: dict) -> dict[str, float]:
+    """``BENCH_engine.json`` -> flat metrics (throughput + virtual ns)."""
+    out: dict[str, float] = {}
+    for engine, e in doc.get("interpreter_throughput", {}).items():
+        if isinstance(e, dict) and "ops_per_sec" in e:
+            out[f"engine.{engine}.ops_per_sec"] = float(e["ops_per_sec"])
+    for name, ns in (doc.get("single_point", {}).get("virtual_ns") or {}).items():
+        out[f"engine.virtual_ns.{name}"] = float(ns)
+    return out
+
+
+def load_baselines(engine_path, chaos_path) -> dict[str, float]:
+    metrics: dict[str, float] = {}
+    metrics.update(flatten_engine(load_json(engine_path)))
+    metrics.update(flatten_chaos(load_json(chaos_path)))
+    return metrics
+
+
+# -- fresh measurement ------------------------------------------------------
+
+
+def _measure_throughput() -> dict[str, float]:
+    """Wall-clock ops/sec of both engines on the Fig. 5 graph workload
+    (mirrors ``benchmarks/perf_smoke.py``'s throughput section)."""
+    from repro.baselines import NativeMemory
+    from repro.bench.harness import ModuleMemo
+    from repro.core import run_on_baseline
+    from repro.memsim.cost_model import CostModel
+    from repro.workloads import make_graph_workload
+
+    cost = CostModel()
+    wl = make_graph_workload()
+    out: dict[str, float] = {}
+    saved = os.environ.get("REPRO_ENGINE")
+    try:
+        for engine in ("reference", "compiled"):
+            os.environ["REPRO_ENGINE"] = engine
+            memo = ModuleMemo(wl)
+            t0 = time.perf_counter()
+            result = run_on_baseline(
+                memo.module,
+                NativeMemory(cost, 2 * memo.footprint_bytes + (1 << 20)),
+                wl.data_init,
+                entry=wl.entry,
+            )
+            wall = time.perf_counter() - t0
+            bd = result.breakdown
+            ops = bd.get("compute", 0.0) / cost.cpu_op_ns
+            ops += bd.get("dram", 0.0) / cost.dram_access_ns
+            out[f"engine.{engine}.ops_per_sec"] = round(ops / wall)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_ENGINE", None)
+        else:
+            os.environ["REPRO_ENGINE"] = saved
+    return out
+
+
+def _measure_virtual_points() -> dict[str, float]:
+    """Deterministic virtual time of the Fig. 5 single points -- the same
+    numbers ``benchmarks/perf_smoke.py`` stores as
+    ``single_point.virtual_ns`` (graph workload, ratio 0.2)."""
+    from repro.bench.harness import (
+        ModuleMemo,
+        mira_point,
+        native_time_ns,
+        system_point,
+    )
+    from repro.memsim.cost_model import CostModel
+    from repro.workloads import make_graph_workload
+
+    cost = CostModel()
+    wl = make_graph_workload()
+    memo = ModuleMemo(wl)
+    native_ns = native_time_ns(wl, cost, memo=memo)
+    fast = system_point(wl, "fastswap", cost, 0.2, native_ns, memo=memo)
+    mira = mira_point(wl, cost, 0.2, native_ns, memo=memo)[0]
+    return {
+        "engine.virtual_ns.native": native_ns,
+        "engine.virtual_ns.fastswap@0.2": fast.elapsed_ns,
+        "engine.virtual_ns.mira@0.2": mira.elapsed_ns,
+    }
+
+
+def measure_current(
+    workloads=DEFAULT_WORKLOADS,
+    systems=DEFAULT_SYSTEMS,
+    seeds=DEFAULT_SEEDS,
+    intensities=DEFAULT_INTENSITIES,
+    throughput: bool = True,
+    single_points: bool = True,
+) -> dict[str, float]:
+    """Re-measure a subset of the baseline metrics, live.
+
+    Chaos cells are recomputed with the exact parameters the baseline
+    harness used (``run_chaos_point`` defaults: ratio 0.25, default cost
+    model, 2e7 ns fault horizon), so their virtual times are directly
+    comparable.
+    """
+    from repro.faults.chaos import default_matrix, run_chaos_point
+
+    metrics: dict[str, float] = {}
+    plans = default_matrix(seeds=tuple(seeds), intensities=tuple(intensities))
+    for name in workloads:
+        for system in systems:
+            for plan in plans:
+                p = run_chaos_point(name, system, plan)
+                key = (
+                    f"chaos.{p.workload}.{p.system}.s{p.seed}.{p.intensity}"
+                )
+                metrics[key + ".healthy_ns"] = p.healthy_ns
+                metrics[key + ".faulty_ns"] = p.faulty_ns
+    if single_points:
+        metrics.update(_measure_virtual_points())
+    if throughput:
+        metrics.update(_measure_throughput())
+    return metrics
+
+
+# -- comparison -------------------------------------------------------------
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    virt_tol: float = VIRT_REL_TOL,
+    wall_ratio: float = WALL_RATIO,
+    strict_wall: bool = False,
+) -> list[Check]:
+    """Compare metrics present on both sides; see the module docstring
+    for the hard/advisory split."""
+    checks: list[Check] = []
+    for metric in sorted(set(baseline) & set(current)):
+        base, cur = baseline[metric], current[metric]
+        rel = (cur - base) / base if base else 0.0
+        wall = metric.endswith(".ops_per_sec")
+        if wall:
+            # higher is better; only a collapse matters, and only when
+            # the caller asked for a hard wall gate
+            ok = cur >= base * wall_ratio
+            note = "" if ok else f"throughput fell to {cur / base:.0%} of baseline"
+            checks.append(
+                Check(metric, base, cur, rel, wall_ratio, strict_wall, ok or not strict_wall, note)
+            )
+            continue
+        # virtual time: lower is better, determinism expected
+        if rel > virt_tol:
+            checks.append(
+                Check(metric, base, cur, rel, virt_tol, True, False,
+                      f"virtual time regressed {rel:+.1%}")
+            )
+        elif rel < -virt_tol:
+            checks.append(
+                Check(metric, base, cur, rel, virt_tol, True, True,
+                      f"improved {rel:+.1%}; regenerate the BENCH baselines")
+            )
+        else:
+            checks.append(Check(metric, base, cur, rel, virt_tol, True, True))
+    return checks
+
+
+def gate(checks: list[Check]) -> bool:
+    """True iff no hard check failed."""
+    return all(c.ok for c in checks)
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def _repo_default(name: str) -> pathlib.Path:
+    """Look for a baseline next to cwd, walking up (CI runs at the root)."""
+    here = pathlib.Path.cwd()
+    for d in (here, *here.parents):
+        p = d / name
+        if p.exists():
+            return p
+    return here / name
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress", description=__doc__
+    )
+    ap.add_argument("--engine", default=None, help="BENCH_engine.json path")
+    ap.add_argument("--chaos", default=None, help="BENCH_chaos.json path")
+    ap.add_argument(
+        "--current",
+        default=None,
+        help="flat {metric: value} JSON to compare instead of measuring",
+    )
+    ap.add_argument("--save-current", default=None, help="write measured metrics")
+    ap.add_argument("--json", dest="json_out", default=None, help="write full report")
+    ap.add_argument("--workloads", nargs="+", default=list(DEFAULT_WORKLOADS))
+    ap.add_argument("--systems", nargs="+", default=list(DEFAULT_SYSTEMS))
+    ap.add_argument("--seeds", nargs="+", type=int, default=list(DEFAULT_SEEDS))
+    ap.add_argument("--intensities", nargs="+", default=list(DEFAULT_INTENSITIES))
+    ap.add_argument("--virt-tol", type=float, default=VIRT_REL_TOL)
+    ap.add_argument("--wall-ratio", type=float, default=WALL_RATIO)
+    ap.add_argument("--strict-wall", action="store_true")
+    ap.add_argument("--no-throughput", action="store_true")
+    ap.add_argument("--no-points", action="store_true",
+                    help="skip the Fig. 5 single-point virtual-time metrics")
+    args = ap.parse_args(argv)
+
+    engine_path = args.engine or _repo_default("BENCH_engine.json")
+    chaos_path = args.chaos or _repo_default("BENCH_chaos.json")
+    try:
+        baseline = load_baselines(engine_path, chaos_path)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"regress: cannot load baselines: {e}")
+        return 2
+
+    if args.current is not None:
+        try:
+            doc = load_json(args.current)
+        except (OSError, ValueError) as e:
+            print(f"regress: cannot load --current: {e}")
+            return 2
+        current = {
+            k: float(v)
+            for k, v in (doc.get("metrics", doc)).items()
+            if isinstance(v, (int, float))
+        }
+    else:
+        current = measure_current(
+            args.workloads,
+            args.systems,
+            args.seeds,
+            args.intensities,
+            throughput=not args.no_throughput,
+            single_points=not args.no_points,
+        )
+    if args.save_current:
+        with open(args.save_current, "w", encoding="utf-8") as f:
+            json.dump({"metrics": current}, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    checks = compare(
+        baseline,
+        current,
+        virt_tol=args.virt_tol,
+        wall_ratio=args.wall_ratio,
+        strict_wall=args.strict_wall,
+    )
+    from repro.bench.reporting import format_regression
+
+    print(format_regression(checks))
+    uncovered = sorted(set(current) - set(baseline))
+    if uncovered:
+        print(f"(no baseline for: {', '.join(uncovered)})")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json.dump(
+                {"ok": gate(checks), "checks": [c.row() for c in checks]},
+                f,
+                indent=2,
+                sort_keys=True,
+            )
+            f.write("\n")
+    if not gate(checks):
+        print("regress: FAIL")
+        return 1
+    print("regress: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,24 +1,37 @@
 """Trace analysis + report CLI.
 
-Turns a JSONL trace (written by :class:`repro.obs.Tracer`) into the two
-views the controller's story needs: a per-phase timeline (one row per
-``prof.region`` span, with the cache activity that happened inside it)
-and a per-section summary (one row per cache section, swap included).
+Turns a JSONL trace (written by :class:`repro.obs.Tracer`) into the views
+the controller's story needs: a per-phase timeline (one row per
+``prof.region`` span, with the cache activity that happened inside it),
+a per-section summary (one row per cache section, swap included), the
+exclusive virtual-time attribution with its critical path
+(:mod:`repro.obs.analyze`), and a collapsed-stack flamegraph export.
 Rendering lives in :mod:`repro.bench.reporting` next to the figure
 tables, so trace reports and paper tables share one look.
 
 Usage::
 
-    python -m repro.obs.report trace.jsonl            # both views
-    python -m repro.obs.report trace.jsonl --phases   # timeline only
-    python -m repro.obs.report trace.jsonl --sections # summary only
+    python -m repro.obs.report trace.jsonl                  # timeline + sections
+    python -m repro.obs.report trace.jsonl --phases         # timeline only
+    python -m repro.obs.report trace.jsonl --sections       # summary only
+    python -m repro.obs.report trace.jsonl --attribution    # exclusive buckets
+    python -m repro.obs.report trace.jsonl --critical-path  # dominant chain
+    python -m repro.obs.report trace.jsonl --flame          # collapsed stacks
+    python -m repro.obs.report --check                      # perf-regression gate
+
+``--flame`` output pipes straight into ``flamegraph.pl`` or loads in
+speedscope.  ``--check`` needs no trace: it delegates to
+:mod:`repro.obs.regress` against the committed BENCH baselines.
+Malformed trailing lines (truncated traces) are skipped with a warning;
+an unreadable input file exits 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
-from repro.obs.trace import digest_of_events, read_jsonl
+from repro.obs.trace import digest_of_events, load_trace
 
 #: event kinds counted as cache activity inside a phase
 _MISS_KINDS = frozenset({"cache.miss", "swap.fault"})
@@ -29,10 +42,13 @@ def phase_timeline(events: list[dict]) -> list[dict]:
 
     Rows carry start/end virtual time and the hit/miss/network activity
     observed while the phase was open (nested phases both count shared
-    events: the timeline is inclusive, like the profiler).
+    events: the timeline is inclusive, like the profiler).  Spans are
+    tracked with a per-label stack, so re-entered and same-label nested
+    regions each close their own row.
     """
     rows: list[dict] = []
-    open_spans: dict[str, dict] = {}
+    open_stacks: dict[str, list[dict]] = {}
+    open_count = 0
     for ev in events:
         kind = ev["k"]
         if kind == "prof.region":
@@ -48,25 +64,31 @@ def phase_timeline(events: list[dict]) -> list[dict]:
                     "net_bytes": 0,
                 }
                 rows.append(span)
-                open_spans[label] = span
+                open_stacks.setdefault(label, []).append(span)
+                open_count += 1
             else:
-                span = open_spans.pop(label, None)
-                if span is not None:
+                stack = open_stacks.get(label)
+                if stack:
+                    span = stack.pop()
                     span["end_ns"] = ev["t"]
                     span["duration_ns"] = ev["t"] - span["start_ns"]
+                    open_count -= 1
             continue
-        if not open_spans:
+        if not open_count:
             continue
         if kind == "cache.hit":
-            for span in open_spans.values():
-                span["hits"] += 1
+            for stack in open_stacks.values():
+                for span in stack:
+                    span["hits"] += 1
         elif kind in _MISS_KINDS:
-            for span in open_spans.values():
-                span["misses"] += 1
+            for stack in open_stacks.values():
+                for span in stack:
+                    span["misses"] += 1
         elif kind in ("net.send", "net.recv"):
             b = ev.get("bytes", 0)
-            for span in open_spans.values():
-                span["net_bytes"] += b
+            for stack in open_stacks.values():
+                for span in stack:
+                    span["net_bytes"] += b
     return [r for r in rows if r["end_ns"] is not None]
 
 
@@ -118,6 +140,18 @@ def section_summary(events: list[dict]) -> dict[str, dict]:
     return out
 
 
+def miss_wait_histogram(events: list[dict]):
+    """Exact percentiles of the per-miss wait, over every miss/fault/
+    prefetch-stall in the trace."""
+    from repro.obs.metrics import Histogram
+
+    h = Histogram()
+    for ev in events:
+        if ev["k"] in ("cache.miss", "swap.fault", "cache.prefetch_hit"):
+            h.observe(ev.get("wait", 0.0))
+    return h
+
+
 def fault_summary(events: list[dict]) -> dict:
     """Aggregate the fault/retry/degradation story of a trace.
 
@@ -164,10 +198,21 @@ def event_counts(events: list[dict]) -> dict[str, int]:
 
 
 def render_report(
-    header: dict, events: list[dict], phases: bool = True, sections: bool = True
+    header: dict,
+    events: list[dict],
+    phases: bool = True,
+    sections: bool = True,
+    attribution: bool = False,
+    critical: bool = False,
 ) -> str:
     """The CLI's full plain-text report."""
-    from repro.bench.reporting import format_phase_timeline, format_section_summary
+    from repro.bench.reporting import (
+        format_attribution,
+        format_critical_path,
+        format_percentiles,
+        format_phase_timeline,
+        format_section_summary,
+    )
 
     lines = [
         f"trace: {header.get('schema', '?')} | {len(events)} events | "
@@ -199,6 +244,19 @@ def render_report(
     if sections:
         lines.append("")
         lines.append(format_section_summary(section_summary(events)))
+        lines.append(
+            format_percentiles("miss wait", miss_wait_histogram(events).snapshot())
+        )
+    if attribution or critical:
+        from repro.obs.analyze import analyze_events, critical_path
+
+        att = analyze_events(events)
+        if attribution:
+            lines.append("")
+            lines.append(format_attribution(att))
+        if critical:
+            lines.append("")
+            lines.append(format_critical_path(critical_path(att)))
     return "\n".join(lines)
 
 
@@ -206,18 +264,97 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro.obs.report", description=__doc__
     )
-    ap.add_argument("trace", help="JSONL trace file written by Tracer.write_jsonl")
+    ap.add_argument(
+        "trace",
+        nargs="?",
+        help="JSONL trace file written by Tracer.write_jsonl "
+        "(optional with --check)",
+    )
     ap.add_argument("--phases", action="store_true", help="timeline only")
     ap.add_argument("--sections", action="store_true", help="section summary only")
+    ap.add_argument(
+        "--attribution",
+        action="store_true",
+        help="exclusive virtual-time buckets (sum exactly to the total)",
+    )
+    ap.add_argument(
+        "--critical-path",
+        action="store_true",
+        dest="critical",
+        help="dominant run/phase/bucket chain",
+    )
+    ap.add_argument(
+        "--flame",
+        action="store_true",
+        help="collapsed-stack output (flamegraph.pl / speedscope)",
+    )
+    ap.add_argument("--out", default=None, help="write --flame output to a file")
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="run the perf-regression gate (repro.obs.regress)",
+    )
+    ap.add_argument(
+        "--current",
+        default=None,
+        help="with --check: canned {metric: value} JSON instead of measuring",
+    )
+    ap.add_argument(
+        "--baseline-dir",
+        default=None,
+        help="with --check: directory holding the BENCH_*.json baselines",
+    )
     args = ap.parse_args(argv)
-    header, events = read_jsonl(args.trace)
-    both = not (args.phases or args.sections)
+
+    if args.check:
+        import os
+
+        from repro.obs import regress
+
+        rargv: list[str] = []
+        if args.baseline_dir:
+            rargv += [
+                "--engine", os.path.join(args.baseline_dir, "BENCH_engine.json"),
+                "--chaos", os.path.join(args.baseline_dir, "BENCH_chaos.json"),
+            ]
+        if args.current:
+            rargv += ["--current", args.current]
+        return regress.main(rargv)
+
+    if not args.trace:
+        print("report: a trace file is required unless --check is given",
+              file=sys.stderr)
+        return 2
+    try:
+        header, events, warnings = load_trace(args.trace)
+    except OSError as e:
+        print(f"report: cannot read {args.trace}: {e}", file=sys.stderr)
+        return 2
+    for w in warnings:
+        print(f"report: warning: {w}", file=sys.stderr)
+
+    if args.flame:
+        from repro.obs.analyze import analyze_events, collapsed_stacks
+
+        stacks = collapsed_stacks(analyze_events(events))
+        text = "\n".join(stacks) + ("\n" if stacks else "")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as f:
+                f.write(text)
+            print(f"wrote {args.out} ({len(stacks)} stacks)")
+        else:
+            sys.stdout.write(text)
+        return 0
+
+    explicit = args.phases or args.sections or args.attribution or args.critical
     print(
         render_report(
             header,
             events,
-            phases=both or args.phases,
-            sections=both or args.sections,
+            phases=not explicit or args.phases,
+            sections=not explicit or args.sections,
+            attribution=args.attribution,
+            critical=args.critical,
         )
     )
     return 0

@@ -111,6 +111,10 @@ class Tracer:
         """Record one event at virtual time ``t`` (nanoseconds)."""
         if kind not in KINDS:
             raise ValueError(f"unknown trace event kind {kind!r}")
+        if "k" in fields or "t" in fields or "i" in fields:
+            # reserved by the canonical JSONL encoding; a colliding field
+            # would silently overwrite the kind/time/index on export
+            raise ValueError(f"{kind}: field names 'i'/'k'/'t' are reserved")
         self.events.append((kind, t, fields))
 
     def clear(self) -> None:
@@ -180,6 +184,37 @@ def read_jsonl(path) -> tuple[dict, list[dict]]:
             else:
                 events.append(rec)
     return header, events
+
+
+def load_trace(path) -> tuple[dict, list[dict], list[str]]:
+    """Tolerant loader: ``(header, events, warnings)``.
+
+    Unlike :func:`read_jsonl` (which raises on any malformed line), this
+    skips lines that do not parse -- typically a truncated tail from a
+    run that died mid-write -- and reports each skip as a warning string,
+    so the report CLI can still analyze the healthy prefix.
+    """
+    header: dict = {}
+    events: list[dict] = []
+    warnings: list[str] = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                rec = json.loads(raw)
+            except ValueError:
+                warnings.append(f"line {lineno}: malformed JSON skipped")
+                continue
+            if not isinstance(rec, dict):
+                warnings.append(f"line {lineno}: not an event object, skipped")
+                continue
+            if "schema" in rec and "k" not in rec:
+                header = rec
+            else:
+                events.append(rec)
+    return header, events, warnings
 
 
 def digest_of_events(events: Iterable[dict]) -> str:

@@ -134,6 +134,7 @@ class Interpreter:
                 runtime=runtime_ns(breakdown),
                 funcs=len(self.profiler.functions),
                 allocs=len(self.profiler.allocations),
+                bd=breakdown,
             )
         return RunResult(
             results=results,

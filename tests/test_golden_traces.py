@@ -26,21 +26,26 @@ COST = CostModel()
 NUM_ELEMS = 2048
 
 #: system -> (sha256 digest of the canonical event lines, event count)
+# re-pinned when attribution fields were added to existing events
+# (sec.open overhead constants, swap.fault kern, evict wb/ov, async net
+# issue, fault.inject timeout, prof.snapshot bd) and when ctrl.iter's
+# iteration field was renamed k -> it (k collided with the reserved JSONL
+# kind key and clobbered it on export); event counts unchanged
 GOLDEN = {
     "fastswap": (
-        "8da5c1fd58bcf555994e68f130ccc3e678658de4eecad82025623b08b197fa2a",
+        "367039e3e074e472e017be25e28460ab61a37c54c25199edf31fa95bd91d598d",
         2056,
     ),
     "leap": (
-        "fcb12794fd0cfaffa435e3932a73cc82d370bab4ad30ad9b99e4f1a685eff729",
+        "8efdc3f811792e5e89bb4076b887dab16f328d72504cef152ddaa9480d4d260c",
         2057,
     ),
     "aifm": (
-        "64789342cb5538b1199795bd1f6dbc4d5efadd9ef1fa95e06390675ea4460132",
+        "5ec45a712d48195550bda6501629eb9d169256b6fb99ef6677964dc8354044ec",
         5122,
     ),
     "mira": (
-        "dc6bb984926f7d5a1a488e0a9324236f656cdb25cc7d8afc3eeca8873eb1b345",
+        "869e3c18e8589a638097be40ce3dd39066da35fec35dc256ba60c9e6198ac546",
         6204,
     ),
 }

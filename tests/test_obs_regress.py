@@ -1,0 +1,214 @@
+"""Tests for :mod:`repro.obs.regress`: baseline flattening, the
+hard-virtual / advisory-wall comparison split, exit codes, and one live
+deterministic cell re-measured against the committed baseline."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import regress
+from repro.obs.regress import (
+    Check,
+    compare,
+    flatten_chaos,
+    flatten_engine,
+    gate,
+    load_baselines,
+    measure_current,
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+ENGINE = REPO / "BENCH_engine.json"
+CHAOS = REPO / "BENCH_chaos.json"
+
+
+# -- flattening ----------------------------------------------------------------
+
+
+def test_flatten_committed_baselines():
+    metrics = load_baselines(ENGINE, CHAOS)
+    # throughput for both engines
+    assert "engine.reference.ops_per_sec" in metrics
+    assert "engine.compiled.ops_per_sec" in metrics
+    # the Fig. 5 single-point virtual times
+    assert metrics["engine.virtual_ns.native"] > 0
+    assert metrics["engine.virtual_ns.fastswap@0.2"] > 0
+    assert metrics["engine.virtual_ns.mira@0.2"] > 0
+    # chaos cells flattened with the full coordinate in the key
+    chaos_keys = [k for k in metrics if k.startswith("chaos.")]
+    assert chaos_keys
+    assert all(
+        k.endswith(".healthy_ns") or k.endswith(".faulty_ns")
+        for k in chaos_keys
+    )
+
+
+def test_flatten_skips_incomplete_cells():
+    doc = {
+        "cells": [
+            {"workload": "w", "system": "s", "seed": 1, "intensity": "light",
+             "completed": False, "healthy_ns": 1.0, "faulty_ns": 2.0},
+            {"workload": "w", "system": "s", "seed": 2, "intensity": "light",
+             "completed": True, "healthy_ns": 3.0, "faulty_ns": 4.0},
+        ]
+    }
+    flat = flatten_chaos(doc)
+    assert flat == {
+        "chaos.w.s.s2.light.healthy_ns": 3.0,
+        "chaos.w.s.s2.light.faulty_ns": 4.0,
+    }
+
+
+def test_flatten_engine_tolerates_missing_sections():
+    assert flatten_engine({}) == {}
+    assert flatten_engine({"single_point": {}}) == {}
+
+
+# -- comparison semantics ------------------------------------------------------
+
+
+def test_virtual_time_regression_fails():
+    checks = compare({"x.healthy_ns": 100.0}, {"x.healthy_ns": 102.0})
+    assert not gate(checks)
+    assert "regressed" in checks[0].note
+
+
+def test_virtual_time_within_tolerance_passes():
+    checks = compare({"x.healthy_ns": 100.0}, {"x.healthy_ns": 100.5})
+    assert gate(checks)
+    assert checks[0].note == ""
+
+
+def test_virtual_time_improvement_passes_with_note():
+    checks = compare({"x.healthy_ns": 100.0}, {"x.healthy_ns": 50.0})
+    assert gate(checks)
+    assert "regenerate" in checks[0].note
+
+
+def test_wall_clock_is_advisory_by_default():
+    # a 90% throughput collapse still passes without --strict-wall
+    checks = compare({"e.ops_per_sec": 1000.0}, {"e.ops_per_sec": 100.0})
+    assert gate(checks)
+    assert "fell" in checks[0].note
+
+
+def test_wall_clock_strict_gate():
+    base = {"e.ops_per_sec": 1000.0}
+    assert not gate(compare(base, {"e.ops_per_sec": 100.0}, strict_wall=True))
+    # above the collapse ratio: noisy-but-fine
+    assert gate(compare(base, {"e.ops_per_sec": 500.0}, strict_wall=True))
+
+
+def test_compare_only_overlapping_metrics():
+    checks = compare({"a_ns": 1.0}, {"b_ns": 2.0})
+    assert checks == []
+
+
+def test_check_row_roundtrip():
+    c = Check("m", 1.0, 2.0, 1.0, 0.01, True, False, "bad")
+    assert c.row()["metric"] == "m" and c.row()["ok"] is False
+
+
+# -- CLI / exit codes ----------------------------------------------------------
+
+
+def _flat_current(tmp_path, scale=1.0):
+    metrics = load_baselines(ENGINE, CHAOS)
+    if scale != 1.0:
+        metrics = {
+            k: v * scale if k.endswith("_ns") else v
+            for k, v in metrics.items()
+        }
+    p = tmp_path / "current.json"
+    p.write_text(json.dumps({"metrics": metrics}))
+    return p
+
+
+def test_gate_passes_on_baseline_identical_current(tmp_path, capsys):
+    cur = _flat_current(tmp_path)
+    rc = regress.main(
+        ["--engine", str(ENGINE), "--chaos", str(CHAOS), "--current", str(cur)]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "regress: OK" in out
+
+
+def test_gate_fails_on_slowed_virtual_time(tmp_path, capsys):
+    cur = _flat_current(tmp_path, scale=1.5)
+    rc = regress.main(
+        ["--engine", str(ENGINE), "--chaos", str(CHAOS), "--current", str(cur)]
+    )
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "regress: FAIL" in out
+    assert "FAIL" in out
+
+
+def test_gate_exit_2_on_unreadable_baseline(tmp_path, capsys):
+    rc = regress.main(
+        ["--engine", str(tmp_path / "nope.json"), "--chaos", str(CHAOS)]
+    )
+    assert rc == 2
+    assert "cannot load baselines" in capsys.readouterr().out
+
+
+def test_gate_exit_2_on_unreadable_current(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    rc = regress.main(
+        ["--engine", str(ENGINE), "--chaos", str(CHAOS), "--current", str(bad)]
+    )
+    assert rc == 2
+    assert "cannot load --current" in capsys.readouterr().out
+
+
+def test_gate_json_report_and_save_current(tmp_path):
+    cur = _flat_current(tmp_path)
+    out = tmp_path / "report.json"
+    saved = tmp_path / "saved.json"
+    rc = regress.main(
+        ["--engine", str(ENGINE), "--chaos", str(CHAOS),
+         "--current", str(cur), "--json", str(out), "--save-current",
+         str(saved)]
+    )
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["ok"] is True
+    assert doc["checks"]
+    # --save-current with --current just echoes nothing measured; the
+    # flag matters on live runs, but the file must not be written here
+    assert not saved.exists() or "metrics" in json.loads(saved.read_text())
+
+
+def test_report_check_delegates_to_regress(tmp_path, capsys):
+    from repro.obs import report
+
+    cur = _flat_current(tmp_path)
+    rc = report.main(
+        ["--check", "--baseline-dir", str(REPO), "--current", str(cur)]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "perf-regression gate" in out
+
+
+# -- one live deterministic cell ----------------------------------------------
+
+
+def test_measured_chaos_cell_matches_committed_baseline():
+    """The simulator is deterministic: re-measuring a baseline chaos cell
+    reproduces the committed virtual times exactly."""
+    baseline = flatten_chaos(json.loads(CHAOS.read_text()))
+    current = measure_current(
+        workloads=("array_sum",),
+        systems=("fastswap",),
+        seeds=(1,),
+        intensities=("medium",),
+        throughput=False,
+        single_points=False,
+    )
+    for key, value in current.items():
+        assert key in baseline, key
+        assert value == pytest.approx(baseline[key], rel=1e-12)

@@ -1,0 +1,224 @@
+"""Satellite tests for the report CLI: per-label span stacks in the
+timeline, tolerant loading of malformed/truncated traces, exit codes,
+the fault-summary rendering path, and the new analysis modes."""
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    fault_summary,
+    main as report_main,
+    miss_wait_histogram,
+    phase_timeline,
+    render_report,
+)
+from repro.obs.trace import Tracer, load_trace
+
+
+# -- phase timeline: nested same-label spans (regression) ----------------------
+
+
+def test_phase_timeline_same_label_nesting_not_clobbered():
+    """A recursive/re-entered region must close the *innermost* open span;
+    the old single-slot bookkeeping clobbered the outer one."""
+    events = [
+        {"k": "prof.region", "t": 0.0, "label": "loop", "ev": "begin"},
+        {"k": "cache.hit", "t": 1.0, "sec": "s", "obj": 1, "line": 0},
+        {"k": "prof.region", "t": 10.0, "label": "loop", "ev": "begin"},
+        {"k": "cache.hit", "t": 11.0, "sec": "s", "obj": 1, "line": 0},
+        {"k": "prof.region", "t": 30.0, "label": "loop", "ev": "end"},
+        {"k": "prof.region", "t": 90.0, "label": "loop", "ev": "end"},
+    ]
+    rows = phase_timeline(events)
+    assert len(rows) == 2
+    outer, inner = rows  # begin order
+    assert outer["duration_ns"] == 90.0
+    assert inner["duration_ns"] == 20.0
+    # the inner hit counts in both open spans (inclusive semantics);
+    # the first hit only in the outer one
+    assert outer["hits"] == 2
+    assert inner["hits"] == 1
+
+
+def test_phase_timeline_reentered_label_sequential():
+    events = [
+        {"k": "prof.region", "t": 0.0, "label": "p", "ev": "begin"},
+        {"k": "prof.region", "t": 5.0, "label": "p", "ev": "end"},
+        {"k": "prof.region", "t": 10.0, "label": "p", "ev": "begin"},
+        {"k": "prof.region", "t": 30.0, "label": "p", "ev": "end"},
+    ]
+    rows = phase_timeline(events)
+    assert [r["duration_ns"] for r in rows] == [5.0, 20.0]
+
+
+def test_phase_timeline_unmatched_end_ignored():
+    events = [
+        {"k": "prof.region", "t": 5.0, "label": "ghost", "ev": "end"},
+        {"k": "prof.region", "t": 10.0, "label": "real", "ev": "begin"},
+        {"k": "prof.region", "t": 20.0, "label": "real", "ev": "end"},
+    ]
+    rows = phase_timeline(events)
+    assert [r["phase"] for r in rows] == ["real"]
+
+
+# -- tolerant trace loading ----------------------------------------------------
+
+
+def _write_trace(path, tail_garbage=""):
+    tr = Tracer(meta={"workload": "t"})
+    tr.emit("cache.hit", 1.0, sec="s", obj=1, line=0)
+    tr.emit("cache.miss", 2.0, sec="s", obj=2, line=0, wait=10.0)
+    tr.emit("prof.snapshot", 5.0, elapsed=5.0, runtime=5.0)
+    path.write_text(tr.to_jsonl() + tail_garbage)
+
+
+def test_load_trace_skips_truncated_tail(tmp_path):
+    p = tmp_path / "t.jsonl"
+    # a run that died mid-write: last line cut off
+    _write_trace(p, tail_garbage='{"i":3,"k":"cache.h')
+    header, events, warnings = load_trace(p)
+    assert header.get("schema")
+    assert len(events) == 3
+    assert len(warnings) == 1 and "malformed" in warnings[0]
+
+
+def test_load_trace_skips_non_object_lines(tmp_path):
+    p = tmp_path / "t.jsonl"
+    _write_trace(p, tail_garbage="[1,2,3]\n")
+    _, events, warnings = load_trace(p)
+    assert len(events) == 3
+    assert any("not an event object" in w for w in warnings)
+
+
+def test_load_trace_empty_file(tmp_path):
+    p = tmp_path / "empty.jsonl"
+    p.write_text("")
+    header, events, warnings = load_trace(p)
+    assert header == {} and events == [] and warnings == []
+
+
+def test_cli_warns_but_reports_on_truncated_trace(tmp_path, capsys):
+    p = tmp_path / "t.jsonl"
+    _write_trace(p, tail_garbage='{"i":3,"k":"cach')
+    assert report_main([str(p)]) == 0
+    captured = capsys.readouterr()
+    assert "malformed" in captured.err
+    assert "section summary" in captured.out
+
+
+def test_cli_empty_trace_ok(tmp_path, capsys):
+    p = tmp_path / "empty.jsonl"
+    p.write_text("")
+    assert report_main([str(p)]) == 0
+    assert "0 events" in capsys.readouterr().out
+
+
+def test_cli_exit_2_on_unreadable_input(tmp_path, capsys):
+    assert report_main([str(tmp_path / "missing.jsonl")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_cli_exit_2_without_trace_arg(capsys):
+    assert report_main([]) == 2
+    assert "required" in capsys.readouterr().err
+
+
+# -- fault summary -------------------------------------------------------------
+
+
+def _faulty_events():
+    return [
+        {"k": "fault.inject", "t": 1.0, "op": "read", "fault": "loss"},
+        {"k": "retry.attempt", "t": 2.0, "op": "read", "attempt": 1,
+         "backoff": 100.0},
+        {"k": "fault.inject", "t": 3.0, "op": "read", "fault": "timeout"},
+        {"k": "fault.giveup", "t": 4.0, "op": "read"},
+        {"k": "fault.breaker", "t": 5.0, "state": "open"},
+        {"k": "degrade.section", "t": 6.0, "sec": "s", "action": "demote_comm"},
+    ]
+
+
+def test_fault_summary_aggregates():
+    s = fault_summary(_faulty_events())
+    assert s["injected"] == 2 and s["losses"] == 1 and s["timeouts"] == 1
+    assert s["retries"] == 1 and s["backoff_ns"] == 100.0
+    assert s["giveups"] == 1 and s["breaker_trips"] == 1
+    assert s["degradations"] == [
+        {"t": 6.0, "sec": "s", "action": "demote_comm"}
+    ]
+
+
+def test_render_report_shows_fault_block_only_when_faulty():
+    healthy = render_report({}, [])
+    assert "fault summary" not in healthy
+    faulty = render_report({}, _faulty_events())
+    assert "fault summary" in faulty
+    assert "demote_comm" in faulty
+
+
+def test_render_report_miss_wait_percentiles():
+    events = [
+        {"k": "cache.miss", "t": float(i), "sec": "s", "obj": i, "line": 0,
+         "wait": float(i * 10)}
+        for i in range(1, 11)
+    ]
+    h = miss_wait_histogram(events)
+    assert h.count == 10 and h.percentile(50) == 50.0
+    text = render_report({}, events)
+    assert "miss wait: n=10" in text and "p95=" in text
+
+
+# -- analysis modes ------------------------------------------------------------
+
+
+def _run_trace(tmp_path):
+    events = [
+        {"k": "sec.open", "t": 0.0, "sec": "s", "hit_ov": 2.0, "ins_ov": 4.0,
+         "ev_ov": 1.0},
+        {"k": "prof.region", "t": 0.0, "label": "work", "ev": "begin"},
+        {"k": "cache.hit", "t": 1.0, "sec": "s", "obj": 1, "line": 0},
+        {"k": "net.recv", "t": 2.0, "bytes": 64, "one_sided": True, "ns": 30.0},
+        {"k": "cache.miss", "t": 2.0, "sec": "s", "obj": 2, "line": 0,
+         "wait": 30.0},
+        {"k": "prof.region", "t": 50.0, "label": "work", "ev": "end"},
+        {"k": "prof.snapshot", "t": 100.0, "elapsed": 100.0, "runtime": 100.0},
+    ]
+    p = tmp_path / "t.jsonl"
+    with open(p, "w", encoding="utf-8") as f:
+        for i, ev in enumerate(events):
+            f.write(json.dumps({"i": i, **ev}, sort_keys=True) + "\n")
+    return p
+
+
+def test_cli_attribution_mode(tmp_path, capsys):
+    p = _run_trace(tmp_path)
+    assert report_main([str(p), "--attribution"]) == 0
+    out = capsys.readouterr().out
+    assert "virtual-time attribution" in out
+    assert "compute" in out and "miss_service" in out
+    # attribution-only: the default tables are suppressed
+    assert "phase timeline" not in out
+
+
+def test_cli_critical_path_mode(tmp_path, capsys):
+    p = _run_trace(tmp_path)
+    assert report_main([str(p), "--critical-path"]) == 0
+    out = capsys.readouterr().out
+    assert "virtual-time critical path" in out
+    assert "-> run [run]" in out
+
+
+def test_cli_flame_to_stdout_and_file(tmp_path, capsys):
+    p = _run_trace(tmp_path)
+    assert report_main([str(p), "--flame"]) == 0
+    out = capsys.readouterr().out
+    lines = [l for l in out.splitlines() if l]
+    assert lines
+    for line in lines:
+        path, _, value = line.rpartition(" ")
+        assert path.startswith("run") and value.isdigit()
+
+    folded = tmp_path / "t.folded"
+    assert report_main([str(p), "--flame", "--out", str(folded)]) == 0
+    assert folded.read_text().splitlines() == lines

@@ -115,6 +115,7 @@ def test_registry_get_or_create_and_snapshot():
     assert snap["gauges"] == {"b.level": 3.5}
     assert snap["histograms"]["c.wait"] == {
         "count": 3, "sum": 12.0, "min": 1.0, "max": 8.0, "mean": 4.0,
+        "p50": 3.0, "p95": 8.0, "p99": 8.0,
     }
     # JSON export is valid and deterministic
     assert json.loads(reg.to_json()) == json.loads(reg.to_json())
@@ -124,7 +125,24 @@ def test_empty_histogram_snapshot():
     h = MetricsRegistry().histogram("x")
     assert h.snapshot() == {
         "count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0,
+        "p50": None, "p95": None, "p99": None,
     }
+    assert h.percentile(50) is None
+
+
+def test_histogram_exact_percentiles():
+    h = MetricsRegistry().histogram("y")
+    # unsorted insertion; percentile() must sort lazily and be exact
+    for v in (50.0, 10.0, 40.0, 30.0, 20.0, 60.0, 90.0, 70.0, 80.0, 100.0):
+        h.observe(v)
+    assert h.percentile(50) == 50.0  # nearest-rank: ceil(10*0.5)=5th of 10
+    assert h.percentile(95) == 100.0
+    assert h.percentile(99) == 100.0
+    assert h.percentile(10) == 10.0
+    assert h.percentile(0) == 10.0  # rank clamps to 1
+    h.observe(5.0)  # re-dirty after a snapshot-style read
+    assert h.percentile(50) == 50.0
+    assert h.min == 5.0 and h.count == 11
 
 
 def _small_run(system="fastswap", tracer=None):

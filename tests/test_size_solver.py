@@ -91,7 +91,16 @@ def test_matches_paper_story_most_memory_to_random_section():
     budget=st.integers(min_value=1, max_value=3000),
 )
 def test_property_milp_matches_bruteforce(data, budget):
-    curves = {k: _curve(v) for k, v in data.items()}
+    # a drawn curve may repeat a size with different overheads, which
+    # makes the cost lookup below ambiguous (it matches by size); keep
+    # only the cheapest sample per size -- the one any solver would pick
+    deduped = {}
+    for k, v in data.items():
+        best: dict[int, float] = {}
+        for size, overhead in v:
+            best[size] = min(overhead, best.get(size, overhead))
+        deduped[k] = sorted(best.items())
+    curves = {k: _curve(v) for k, v in deduped.items()}
     try:
         brute = solve_sizes_bruteforce(curves, budget)
     except SolverError:
