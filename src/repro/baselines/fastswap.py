@@ -52,7 +52,7 @@ class FastSwap(MemorySystem):
     def set_tracer(self, tracer) -> None:
         self.tracer = tracer
         self.network.tracer = tracer
-        self.swap.tracer = tracer
+        self.swap.set_tracer(tracer)
 
     def access(
         self,
@@ -88,6 +88,84 @@ class FastSwap(MemorySystem):
 
     def _after_access(self, obj, offset: int, size: int, hit: bool) -> None:
         """Hook for Leap's prefetcher."""
+
+    # -- bulk path (codegen engine) ------------------------------------------
+
+    def bulk_load(
+        self, obj_id, offset0, stride, size, count, native, dram_ns, cpu_ns
+    ) -> bool:
+        return self._bulk_stream(
+            obj_id, offset0, stride, size, count, dram_ns, cpu_ns, False
+        )
+
+    def bulk_store(
+        self, obj_id, offset0, stride, size, count, native, dram_ns, cpu_ns
+    ) -> bool:
+        return self._bulk_stream(
+            obj_id, offset0, stride, size, count, dram_ns, cpu_ns, True
+        )
+
+    def _bulk_stream(
+        self,
+        obj_id: int,
+        offset0: int,
+        stride: int,
+        size: int,
+        count: int,
+        dram_ns: float,
+        cpu_ns: float,
+        is_write: bool,
+    ) -> bool:
+        """Page-at-a-time walk of a strided run; same exactness argument
+        as :meth:`CacheManager._bulk_stream` (chunk-first element through
+        the real fault path, the rest aggregated as known-hits).  Leap
+        keeps its per-access prefetcher hook and always falls back."""
+        if count <= 0:
+            return True
+        if (
+            self._has_after_hook
+            or self.tracer is not None
+            or self.network.faults is not None
+            or stride % 8
+            or offset0 % 8
+            or size <= 0
+            or size > 8
+            or not float(dram_ns).is_integer()
+            or not float(cpu_ns).is_integer()
+        ):
+            return False
+        entry = self._obj_cache.get(obj_id)
+        if entry is None:
+            obj = self.address_space.get(obj_id)
+            entry = (obj, self.stats.object(obj_id), obj.base_va, max(obj.size, 1))
+            self._obj_cache[obj_id] = entry
+        obj, ostats, base_va, limit = entry
+        # per-element bounds: every offset must satisfy 0 <= offset < limit
+        if offset0 < 0 or offset0 + (count - 1) * stride >= limit:
+            return False
+        base = base_va + offset0
+        if base % 8:
+            return False
+        clock = self.clock
+        swap = self.swap
+        j = 0
+        while j < count:
+            page = (base + j * stride) // PAGE_SIZE
+            last = min(
+                count - 1, ((page + 1) * PAGE_SIZE - size - base) // stride
+            )
+            n = last - j
+            clock.advance(dram_ns, "dram")
+            hit = swap._access_page(page, is_write, obj_id)
+            if not hit:
+                ostats.misses += 1
+            if n:
+                clock.advance(n * dram_ns, "dram")
+                swap._bulk_hits(page, n, is_write)
+            ostats.accesses += n + 1
+            clock.charge((n + 1) * cpu_ns)
+            j = last + 1
+        return True
 
     def metadata_bytes(self) -> int:
         return self.swap.metadata_bytes()

@@ -26,3 +26,27 @@ class NativeMemory(MemorySystem):
     ) -> None:
         # data is local: the interpreter's DRAM charge covers it
         return None
+
+    # -- bulk path (codegen engine): access() is a no-op, so a strided
+    # batch is exactly the interpreter-side charges, aggregated.  Exact
+    # because the constants are integer-valued floats (n * c == c added
+    # n times); non-integer cost models fall back to per-element.
+
+    def _bulk(self, count: int, dram_ns: float, cpu_ns: float) -> bool:
+        if count <= 0:
+            return True
+        if not (float(dram_ns).is_integer() and float(cpu_ns).is_integer()):
+            return False
+        self.clock.advance(count * dram_ns, "dram")
+        self.clock.charge(count * cpu_ns)
+        return True
+
+    def bulk_load(
+        self, obj_id, offset0, stride, size, count, native, dram_ns, cpu_ns
+    ) -> bool:
+        return self._bulk(count, dram_ns, cpu_ns)
+
+    def bulk_store(
+        self, obj_id, offset0, stride, size, count, native, dram_ns, cpu_ns
+    ) -> bool:
+        return self._bulk(count, dram_ns, cpu_ns)

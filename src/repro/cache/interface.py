@@ -167,6 +167,43 @@ class MemorySystem(abc.ABC):
         dereference-elided (section 4.4); systems without the concept
         ignore it."""
 
+    # -- bulk access (codegen engine's vectorized memref path) ---------------
+
+    def bulk_load(
+        self,
+        obj_id: int,
+        offset0: int,
+        stride: int,
+        size: int,
+        count: int,
+        native: bool,
+        dram_ns: float,
+        cpu_ns: float,
+    ) -> bool:
+        """Try to execute ``count`` strided reads of ``size`` bytes starting
+        at ``offset0`` as one batched operation, charging ``dram_ns`` DRAM
+        time plus ``cpu_ns`` compute per element in aggregated steps that
+        are bit-identical in total to ``count`` per-element accesses.
+
+        Returns True on success; False means the caller must fall back to
+        its exact per-element loop (the default: systems without a batch
+        path, or any state where aggregation cannot be proven exact)."""
+        return False
+
+    def bulk_store(
+        self,
+        obj_id: int,
+        offset0: int,
+        stride: int,
+        size: int,
+        count: int,
+        native: bool,
+        dram_ns: float,
+        cpu_ns: float,
+    ) -> bool:
+        """Write-side twin of :meth:`bulk_load`."""
+        return False
+
     # -- bookkeeping hooks ---------------------------------------------------
 
     def _on_allocate(self, obj: ObjectInfo) -> None:

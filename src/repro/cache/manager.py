@@ -67,9 +67,9 @@ class CacheManager(MemorySystem):
     def set_tracer(self, tracer) -> None:
         self.tracer = tracer
         self.network.tracer = tracer
-        self.swap.tracer = tracer
+        self.swap.set_tracer(tracer)
         for sec in self._sections.values():
-            sec.tracer = tracer
+            sec.set_tracer(tracer)
 
     # -- fault handling / graceful degradation --------------------------------
 
@@ -176,7 +176,7 @@ class CacheManager(MemorySystem):
                 f"{committed} B already committed of {self.local_mem_bytes} B"
             )
         section = make_section(config, self.cost, self.clock, self.network)
-        section.tracer = self.tracer
+        section.set_tracer(self.tracer)
         self._sections[config.name] = section
         tr = self.tracer
         if tr is not None:
@@ -345,6 +345,123 @@ class CacheManager(MemorySystem):
         self._access_counter += 1
         if not self._access_counter % 256:
             self._track_metadata()
+
+    def bulk_load(
+        self, obj_id, offset0, stride, size, count, native, dram_ns, cpu_ns
+    ) -> bool:
+        return self._bulk_stream(
+            obj_id, offset0, stride, size, count, native, dram_ns, cpu_ns, False
+        )
+
+    def bulk_store(
+        self, obj_id, offset0, stride, size, count, native, dram_ns, cpu_ns
+    ) -> bool:
+        return self._bulk_stream(
+            obj_id, offset0, stride, size, count, native, dram_ns, cpu_ns, True
+        )
+
+    def _bulk_stream(
+        self,
+        obj_id: int,
+        offset0: int,
+        stride: int,
+        size: int,
+        count: int,
+        native: bool,
+        dram_ns: float,
+        cpu_ns: float,
+        is_write: bool,
+    ) -> bool:
+        """Walk a strided access run one line/page at a time.
+
+        Each chunk (the elements sharing one cache line or page) runs its
+        FIRST element through the real per-element path -- mandatory,
+        because a miss books network time against ``clock.now`` and must
+        see the exact per-element clock -- and aggregates the rest as
+        known-hits: after that first access the line is resident with any
+        in-flight prefetch settled, hits never evict and never touch the
+        network, so within-chunk ordering is unobservable and the
+        category sums are exact for integer-valued cost constants.
+
+        Any state where that argument does not hold returns False and the
+        caller falls back to its exact per-element loop: tracing on (the
+        per-element path emits the per-hit events), a fault plan or
+        pending degradation (either can reconfigure sections mid-run),
+        non-integer constants, or geometry where an element could straddle
+        a line/page boundary (the 8-byte alignment gates below make that
+        impossible: every element then lives inside one aligned 8-byte
+        slot, and line/page sizes are multiples of 8).
+        """
+        if count <= 0:
+            return True
+        if (
+            self.tracer is not None
+            or self._degrade_pending
+            or self.network.faults is not None
+            or stride % 8
+            or offset0 % 8
+            or size <= 0
+            or size > 8
+            or not float(dram_ns).is_integer()
+            or not float(cpu_ns).is_integer()
+        ):
+            return False
+        entry = self._resolved.get((obj_id, self.current_thread))
+        if entry is None:
+            entry = self._resolve(obj_id)
+        obj, section, ostats, obj_native = entry
+        if offset0 < 0 or offset0 + (count - 1) * stride + size > obj.size:
+            return False  # the per-element path raises the canonical error
+        if section is None:
+            gran = PAGE_SIZE
+            base = obj.va_of(offset0)
+            if base % 8:
+                return False
+            nat = False  # the swap path has no native-promise concept
+        else:
+            gran = section._line_size
+            base = offset0
+            if gran % 8:
+                return False
+            nat = native or obj_native
+            if not nat and not float(section._hit_overhead).is_integer():
+                return False
+        clock = self.clock
+        swap = self.swap
+        j = 0
+        while j < count:
+            g = (base + j * stride) // gran
+            last = min(count - 1, ((g + 1) * gran - size - base) // stride)
+            n = last - j
+            # chunk-first element: the exact per-element sequence
+            clock.advance(dram_ns, "dram")
+            if section is None:
+                hit = swap._access_page(g, is_write, obj_id)
+            else:
+                hit = section._access_line((obj_id, g), is_write, nat)
+            if not hit:
+                ostats.misses += 1
+            before = self._access_counter + 1
+            self._access_counter = before
+            if not before % 256:
+                self._track_metadata()
+            if n:
+                clock.advance(n * dram_ns, "dram")
+                if section is None:
+                    swap._bulk_hits(g, n, is_write)
+                else:
+                    section._bulk_hits((obj_id, g), n, is_write, nat)
+                # metadata is constant during a hit run, so sampling once
+                # at a 256-crossing observes the same value the skipped
+                # per-access samples would (peak tracking takes the max)
+                ctr = before + n
+                self._access_counter = ctr
+                if ctr // 256 != before // 256:
+                    self._track_metadata()
+            ostats.accesses += n + 1
+            clock.charge((n + 1) * cpu_ns)
+            j = last + 1
+        return True
 
     def prefetch(self, obj_id: int, offset: int, size: int) -> None:
         entry = self._resolved.get((obj_id, self.current_thread))

@@ -54,6 +54,11 @@ class CacheSection(abc.ABC):
         self.stats = SectionStats()
         #: attached :class:`repro.obs.Tracer`, or None (tracing disabled)
         self.tracer = None
+        #: pre-bound per-kind emitters for the per-access emission sites
+        #: (None when detached); cold sites go through ``tracer.emit``
+        self._emit_hit = None
+        self._emit_miss = None
+        self._emit_prefetch_hit = None
         self._name = config.name
         self._use_counter = 0
         # hot-path constants, resolved once (the access path runs per
@@ -99,6 +104,22 @@ class CacheSection(abc.ABC):
     @abc.abstractmethod
     def resident_count(self) -> int:
         """Number of resident lines (O(1); hot path)."""
+
+    # -- tracing --------------------------------------------------------------
+
+    def set_tracer(self, tracer) -> None:
+        """Attach/detach a tracer, pre-binding the per-access emitters
+        (hit/miss/prefetch-hit fire once per program access; a
+        pre-validated closure skips the schema check on every event)."""
+        self.tracer = tracer
+        if tracer is None:
+            self._emit_hit = None
+            self._emit_miss = None
+            self._emit_prefetch_hit = None
+        else:
+            self._emit_hit = tracer.emitter("cache.hit")
+            self._emit_miss = tracer.emitter("cache.miss")
+            self._emit_prefetch_hit = tracer.emitter("cache.prefetch_hit")
 
     # -- geometry ------------------------------------------------------------
 
@@ -161,10 +182,9 @@ class CacheSection(abc.ABC):
                     stats.prefetch_hits += 1
                     stats.misses += 1
                     line.ready_at = 0.0
-                    tr = self.tracer
-                    if tr is not None:
-                        tr.emit(
-                            "cache.prefetch_hit",
+                    em = self._emit_prefetch_hit
+                    if em is not None:
+                        em(
                             clock.now,
                             sec=self._name,
                             obj=key[0],
@@ -179,13 +199,12 @@ class CacheSection(abc.ABC):
                 self.clock.advance(overhead, "hit_overhead")
                 stats.overhead_ns += overhead
             stats.hits += 1
-            tr = self.tracer
-            if tr is not None:
+            em = self._emit_hit
+            if em is not None:
                 if native:
                     # flagged so trace analysis knows no lookup overhead
                     # was charged for this hit (compiler-elided deref)
-                    tr.emit(
-                        "cache.hit",
+                    em(
                         self.clock.now,
                         sec=self._name,
                         obj=key[0],
@@ -193,8 +212,7 @@ class CacheSection(abc.ABC):
                         nat=True,
                     )
                 else:
-                    tr.emit(
-                        "cache.hit",
+                    em(
                         self.clock.now,
                         sec=self._name,
                         obj=key[0],
@@ -216,10 +234,9 @@ class CacheSection(abc.ABC):
         ins = self._insert_overhead
         self.clock.advance(ins, "insert_overhead")
         stats.overhead_ns += ins
-        tr = self.tracer
-        if tr is not None:
-            tr.emit(
-                "cache.miss",
+        em = self._emit_miss
+        if em is not None:
+            em(
                 self.clock.now,
                 sec=self._name,
                 obj=key[0],
@@ -228,6 +245,36 @@ class CacheSection(abc.ABC):
                 write=is_write,
             )
         return False
+
+    def _bulk_hits(self, key: LineKey, n: int, is_write: bool, native: bool) -> None:
+        """Account ``n`` consecutive known-hits on one resident line.
+
+        Only the bulk path (:meth:`CacheManager.bulk_load`) calls this,
+        immediately after a real ``_access_line`` on the same key left the
+        line resident with any in-flight prefetch settled: hits never
+        evict and never touch the network, so ``n`` repeats of the hit
+        path collapse to one recency update plus aggregated counters and
+        one aggregated overhead advance (exact for the integer-valued
+        overhead constants the caller checked).  Tracing must be off --
+        the per-element path is the one that emits per-hit events.
+        """
+        stats = self.stats
+        stats.accesses += n
+        self._use_counter += n
+        line = self.lookup(key)
+        line.last_use = self._use_counter
+        line.evictable = False
+        if is_write:
+            line.dirty = True
+        # a stale ready_at is deliberately left in place: the per-element
+        # hit path does not clear it either
+        if native:
+            stats.native_accesses += n
+        else:
+            overhead = self._hit_overhead
+            self.clock.advance(n * overhead, "hit_overhead")
+            stats.overhead_ns += n * overhead
+        stats.hits += n
 
     def prefetch_line(self, key: LineKey) -> None:
         """Issue an asynchronous fetch of one line if absent."""

@@ -60,8 +60,26 @@ class SwapSection:
         self.stats = SectionStats()
         #: attached :class:`repro.obs.Tracer`, or None (tracing disabled)
         self.tracer = None
+        #: pre-bound per-kind emitters for the per-access emission sites
+        #: (None when detached); cold sites go through ``tracer.emit``
+        self._emit_hit = None
+        self._emit_fault = None
+        self._emit_prefetch_hit = None
         #: fault-path constant, resolved once (per-miss path)
         self._fault_ns = cost.page_fault_ns + extra_fault_ns
+
+    def set_tracer(self, tracer) -> None:
+        """Attach/detach a tracer, pre-binding the per-access emitters
+        (the hit and fault sites fire once per program access)."""
+        self.tracer = tracer
+        if tracer is None:
+            self._emit_hit = None
+            self._emit_fault = None
+            self._emit_prefetch_hit = None
+        else:
+            self._emit_hit = tracer.emitter("cache.hit")
+            self._emit_fault = tracer.emitter("swap.fault")
+            self._emit_prefetch_hit = tracer.emitter("cache.prefetch_hit")
 
     # -- geometry ------------------------------------------------------------
 
@@ -109,10 +127,9 @@ class SwapSection:
                     stats.prefetch_hits += 1
                     stats.misses += 1
                     entry.ready_at = 0.0
-                    tr = self.tracer
-                    if tr is not None:
-                        tr.emit(
-                            "cache.prefetch_hit",
+                    em = self._emit_prefetch_hit
+                    if em is not None:
+                        em(
                             clock.now,
                             sec="swap",
                             obj=obj_id,
@@ -124,9 +141,9 @@ class SwapSection:
                 # plain resident page, not a stale in-flight one
                 entry.ready_at = 0.0
             stats.hits += 1
-            tr = self.tracer
-            if tr is not None:
-                tr.emit("cache.hit", self.clock.now, sec="swap", obj=obj_id, line=page)
+            em = self._emit_hit
+            if em is not None:
+                em(self.clock.now, sec="swap", obj=obj_id, line=page)
             return True
         # page fault: kernel path, then a one-sided page read (recorded
         # on the network so traffic accounting sees the amplification)
@@ -138,10 +155,9 @@ class SwapSection:
         wire_ns = self.network.read(PAGE_SIZE, one_sided=True)
         stats.miss_wait_ns += fault_ns + wire_ns
         pages[page] = PageEntry(page=page, obj_id=obj_id, dirty=is_write)
-        tr = self.tracer
-        if tr is not None:
-            tr.emit(
-                "swap.fault",
+        em = self._emit_fault
+        if em is not None:
+            em(
                 self.clock.now,
                 obj=obj_id,
                 line=page,
@@ -150,6 +166,26 @@ class SwapSection:
                 kern=fault_ns,
             )
         return False
+
+    def _bulk_hits(self, page: int, n: int, is_write: bool) -> None:
+        """Account ``n`` consecutive known-hits on one resident page.
+
+        Only the bulk path calls this, immediately after a real
+        ``_access_page`` on the same page left it resident with
+        ``ready_at`` settled; swap hits cost no virtual time, so the
+        repeats collapse to counters plus one recency move.  Tracing must
+        be off (the per-element path emits the per-hit events).
+        """
+        stats = self.stats
+        stats.accesses += n
+        entry = self._pages[page]
+        self._pages.move_to_end(page)
+        if is_write:
+            entry.dirty = True
+        if entry.evictable:
+            entry.evictable = False
+            self._evictable.pop(page, None)
+        stats.hits += n
 
     def prefetch(self, page: int, obj_id: int = 0) -> None:
         """Asynchronously map a page ahead of demand."""

@@ -107,8 +107,8 @@ def load_baselines(engine_path, chaos_path) -> dict[str, float]:
 
 
 def _measure_throughput() -> dict[str, float]:
-    """Wall-clock ops/sec of both engines on the Fig. 5 graph workload
-    (mirrors ``benchmarks/perf_smoke.py``'s throughput section)."""
+    """Wall-clock ops/sec of all three engines on the Fig. 5 graph
+    workload (mirrors ``benchmarks/perf_smoke.py``'s throughput section)."""
     from repro.baselines import NativeMemory
     from repro.bench.harness import ModuleMemo
     from repro.core import run_on_baseline
@@ -120,17 +120,22 @@ def _measure_throughput() -> dict[str, float]:
     out: dict[str, float] = {}
     saved = os.environ.get("REPRO_ENGINE")
     try:
-        for engine in ("reference", "compiled"):
+        for engine in ("reference", "compiled", "codegen"):
             os.environ["REPRO_ENGINE"] = engine
             memo = ModuleMemo(wl)
-            t0 = time.perf_counter()
-            result = run_on_baseline(
-                memo.module,
-                NativeMemory(cost, 2 * memo.footprint_bytes + (1 << 20)),
-                wl.data_init,
-                entry=wl.entry,
-            )
-            wall = time.perf_counter() - t0
+            # best of two runs on a shared memo, like perf_smoke: the
+            # first run pays one-time costs (codegen source compile),
+            # which are amortized noise, not throughput
+            wall = float("inf")
+            for _ in range(2):
+                t0 = time.perf_counter()
+                result = run_on_baseline(
+                    memo.module,
+                    NativeMemory(cost, 2 * memo.footprint_bytes + (1 << 20)),
+                    wl.data_init,
+                    entry=wl.entry,
+                )
+                wall = min(wall, time.perf_counter() - t0)
             bd = result.breakdown
             ops = bd.get("compute", 0.0) / cost.cpu_op_ns
             ops += bd.get("dram", 0.0) / cost.dram_access_ns

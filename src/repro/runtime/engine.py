@@ -65,7 +65,7 @@ if TYPE_CHECKING:
 #: environment variable selecting the engine; ``reference`` opts out
 ENGINE_ENV = "REPRO_ENGINE"
 DEFAULT_ENGINE = "compiled"
-ENGINES = ("compiled", "reference")
+ENGINES = ("compiled", "reference", "codegen")
 
 Step = Callable[[dict], None]
 

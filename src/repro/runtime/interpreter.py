@@ -75,9 +75,11 @@ class Interpreter:
 
     ``engine`` selects the execution strategy: ``"compiled"`` (default)
     lowers each block once to specialized closures via
-    :mod:`repro.runtime.engine`; ``"reference"`` keeps the original
-    op-at-a-time tree walk.  Both produce bit-identical virtual time;
-    the ``REPRO_ENGINE`` environment variable overrides the default.
+    :mod:`repro.runtime.engine`; ``"codegen"`` lowers each function to
+    generated Python source via :mod:`repro.runtime.codegen`;
+    ``"reference"`` keeps the original op-at-a-time tree walk.  All
+    three produce bit-identical virtual time; the ``REPRO_ENGINE``
+    environment variable overrides the default.
     """
 
     def __init__(
@@ -112,7 +114,14 @@ class Interpreter:
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
         self.engine_name = engine
-        self._engine = Engine(self) if engine == "compiled" else None
+        if engine == "compiled":
+            self._engine = Engine(self)
+        elif engine == "codegen":
+            from repro.runtime.codegen import CodegenEngine
+
+            self._engine = CodegenEngine(self)
+        else:
+            self._engine = None
 
     # -- public API -----------------------------------------------------------
 

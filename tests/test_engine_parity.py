@@ -1,13 +1,15 @@
-"""Engine parity: the compiled engine must be bit-identical to the
+"""Engine parity: every execution engine must be bit-identical to the
 reference interpreter.
 
-The block-compiled engine (``repro/runtime/engine.py``) is a pure
-performance optimization; its contract is that every observable output --
-program results, total virtual time, and the per-category breakdown -- is
-*exactly* equal to the reference tree-walker's, on every workload and
-every memory system.  These tests run each paper workload under both
-engines (native plus all four systems at two local-memory ratios) and
-compare complete run fingerprints with ``==``: no tolerances anywhere.
+The block-compiled engine (``repro/runtime/engine.py``) and the
+source-lowering codegen engine (``repro/runtime/codegen.py``) are pure
+performance optimizations; their contract is that every observable
+output -- program results, total virtual time, and the per-category
+breakdown -- is *exactly* equal to the reference tree-walker's, on every
+workload and every memory system.  These tests run each paper workload
+under all three engines (native plus all four systems at two
+local-memory ratios) and compare complete run fingerprints with ``==``:
+no tolerances anywhere.
 """
 
 from __future__ import annotations
@@ -109,13 +111,14 @@ def _fingerprint(name: str) -> dict:
 def test_engines_bit_identical(name, monkeypatch):
     monkeypatch.setenv("REPRO_ENGINE", "reference")
     reference = _fingerprint(name)
-    monkeypatch.setenv("REPRO_ENGINE", "compiled")
-    compiled = _fingerprint(name)
-    assert set(reference) == set(compiled)
-    for point in reference:
-        assert reference[point] == compiled[point], (
-            f"{name}: engines diverge at {point}"
-        )
+    for engine in ("compiled", "codegen"):
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        other = _fingerprint(name)
+        assert set(reference) == set(other)
+        for point in reference:
+            assert reference[point] == other[point], (
+                f"{name}: {engine} diverges from reference at {point}"
+            )
 
 
 # -- randomized differential fuzzing ----------------------------------------
@@ -231,11 +234,12 @@ def _fuzz_fingerprint(seed: int, engine: str) -> dict:
 
 def _assert_fuzz_parity(seed: int) -> None:
     reference = _fuzz_fingerprint(seed, "reference")
-    compiled = _fuzz_fingerprint(seed, "compiled")
-    for system in reference:
-        assert reference[system] == compiled[system], (
-            f"seed {seed}: engines diverge on {system}"
-        )
+    for engine in ("compiled", "codegen"):
+        other = _fuzz_fingerprint(seed, engine)
+        for system in reference:
+            assert reference[system] == other[system], (
+                f"seed {seed}: {engine} diverges from reference on {system}"
+            )
 
 
 @pytest.mark.parametrize("seed", range(8))
@@ -316,9 +320,12 @@ def test_engines_bit_identical_under_faults(name, system, monkeypatch):
     monkeypatch.delenv("REPRO_ENGINE", raising=False)
     plan = FaultPlan.generate(1, intensity="medium", horizon_ns=2e7)
     reference = _faulty_fingerprint(name, system, plan, "reference")
-    compiled = _faulty_fingerprint(name, system, plan, "compiled")
-    assert reference == compiled, f"{name}/{system}: engines diverge under faults"
-    # the plan actually did something, on both engines identically
+    for engine in ("compiled", "codegen"):
+        other = _faulty_fingerprint(name, system, plan, engine)
+        assert reference == other, (
+            f"{name}/{system}: {engine} diverges under faults"
+        )
+    # the plan actually did something, on every engine identically
     assert reference["fault_stats"]["retries"] > 0
     assert reference["breakdown"].get("net_timeout", 0.0) > 0.0
 
@@ -331,8 +338,10 @@ def test_fault_parity_across_seeds(seed, monkeypatch):
     monkeypatch.delenv("REPRO_ENGINE", raising=False)
     plan = FaultPlan.generate(seed, intensity="heavy", horizon_ns=2e7)
     reference = _faulty_fingerprint("graph_traversal", "mira", plan, "reference")
-    compiled = _faulty_fingerprint("graph_traversal", "mira", plan, "compiled")
-    assert reference == compiled
+    for engine in ("compiled", "codegen"):
+        assert reference == _faulty_fingerprint(
+            "graph_traversal", "mira", plan, engine
+        )
 
 
 def test_engine_selection(monkeypatch):
@@ -348,3 +357,9 @@ def test_engine_selection(monkeypatch):
     monkeypatch.setenv("REPRO_ENGINE", "compiled")
     comp = Interpreter(module, NativeMemory(COST, 1 << 20), workload.data_init)
     assert comp.engine_name == "compiled" and comp._engine is not None
+    monkeypatch.setenv("REPRO_ENGINE", "codegen")
+    cg = Interpreter(module, NativeMemory(COST, 1 << 20), workload.data_init)
+    assert cg.engine_name == "codegen" and cg._engine is not None
+    from repro.runtime.codegen import CodegenEngine
+
+    assert isinstance(cg._engine, CodegenEngine)

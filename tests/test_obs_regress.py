@@ -3,6 +3,7 @@ hard-virtual / advisory-wall comparison split, exit codes, and one live
 deterministic cell re-measured against the committed baseline."""
 
 import json
+import os
 import pathlib
 
 import pytest
@@ -28,9 +29,10 @@ CHAOS = REPO / "BENCH_chaos.json"
 
 def test_flatten_committed_baselines():
     metrics = load_baselines(ENGINE, CHAOS)
-    # throughput for both engines
+    # throughput for all three engines
     assert "engine.reference.ops_per_sec" in metrics
     assert "engine.compiled.ops_per_sec" in metrics
+    assert "engine.codegen.ops_per_sec" in metrics
     # the Fig. 5 single-point virtual times
     assert metrics["engine.virtual_ns.native"] > 0
     assert metrics["engine.virtual_ns.fastswap@0.2"] > 0
@@ -192,6 +194,48 @@ def test_report_check_delegates_to_regress(tmp_path, capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "perf-regression gate" in out
+
+
+# -- engine selection hygiene --------------------------------------------------
+
+
+class _FakeResult:
+    breakdown = {"compute": 100.0, "dram": 200.0}
+
+
+def test_measure_throughput_covers_all_engines_and_restores_env(monkeypatch):
+    """``_measure_throughput`` sweeps reference/compiled/codegen via
+    ``REPRO_ENGINE`` and must put the caller's value back afterwards."""
+    import repro.core
+
+    seen = []
+
+    def fake_run(module, system, data_init=None, entry="main", **kw):
+        seen.append(os.environ.get("REPRO_ENGINE"))
+        return _FakeResult()
+
+    monkeypatch.setattr(repro.core, "run_on_baseline", fake_run)
+    monkeypatch.setenv("REPRO_ENGINE", "reference")
+    out = regress._measure_throughput()
+    # best-of-2 per engine, engines swept in order
+    assert seen == ["reference"] * 2 + ["compiled"] * 2 + ["codegen"] * 2
+    assert set(out) == {f"engine.{e}.ops_per_sec" for e in seen}
+    assert os.environ["REPRO_ENGINE"] == "reference"
+
+
+def test_measure_throughput_restores_env_on_error(monkeypatch):
+    """The env override is undone in a ``finally``: even when a run blows
+    up mid-sweep, the ambient engine selection must not leak."""
+    import repro.core
+
+    def boom(*args, **kw):
+        raise RuntimeError("boom")
+
+    monkeypatch.setattr(repro.core, "run_on_baseline", boom)
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    with pytest.raises(RuntimeError):
+        regress._measure_throughput()
+    assert "REPRO_ENGINE" not in os.environ
 
 
 # -- one live deterministic cell ----------------------------------------------

@@ -83,16 +83,18 @@ def test_trace_roundtrip_and_digest_of_events(tmp_path):
 
 
 def test_every_emitted_kind_is_declared():
-    """Grep the source tree for emit() calls; each kind must be in KINDS
-    (the reverse of the runtime check: no dead schema entries creep in
-    unvalidated)."""
+    """Grep the source tree for emit()/emitter() calls; each kind must be
+    in KINDS (the reverse of the runtime check: no dead schema entries
+    creep in unvalidated)."""
     import re
     from pathlib import Path
 
     src = Path(__file__).resolve().parent.parent / "src" / "repro"
     emitted = set()
     for py in src.rglob("*.py"):
-        emitted.update(re.findall(r'\.emit\(\s*"([a-z_.]+)"', py.read_text()))
+        emitted.update(
+            re.findall(r'\.emit(?:ter)?\(\s*"([a-z_.]+)"', py.read_text())
+        )
     assert emitted, "no emit() calls found -- did the tracer get removed?"
     assert emitted <= KINDS
     unused = KINDS - emitted
