@@ -1,0 +1,82 @@
+"""Prefetch-policy benchmark CLI.
+
+Runs the policy x workload sweep in :mod:`repro.bench.prefetch` (every
+prefetch policy on the Leap chassis at equal cache size, five paper
+workloads), prints a winners table plus the programmed-vs-Leap stall
+comparison, and writes ``BENCH_prefetch.json`` at the repo root.  All
+scores are *virtual-time* attributions from the critical-path profiler,
+so the emitted numbers are bit-deterministic and regression-gated by
+``repro.obs.regress``.
+
+Run with::
+
+    PYTHONPATH=src:. python benchmarks/prefetch_smoke.py [--policies ...]
+
+This file is deliberately not named ``test_*``: it is a benchmark script,
+not part of the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import platform
+import time
+
+from repro.bench.prefetch import POLICIES, WORKLOADS, measure_all
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_prefetch.json"
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--policies", nargs="*", default=list(POLICIES))
+    ap.add_argument("--workloads", nargs="*", default=list(WORKLOADS))
+    args = ap.parse_args()
+
+    t0 = time.perf_counter()
+    sweep = measure_all(policies=args.policies, workloads=args.workloads)
+    wall_s = round(time.perf_counter() - t0, 3)
+
+    report: dict = {
+        "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "wall_s": wall_s,
+        **sweep,
+    }
+
+    width = max(len(w) for w in args.workloads) + 2
+    header = "workload".ljust(width) + "".join(
+        p.rjust(14) for p in args.policies
+    )
+    print(header)
+    print("-" * len(header))
+    by_cell = {(c["workload"], c["policy"]): c for c in sweep["cells"]}
+    for w in args.workloads:
+        row = w.ljust(width)
+        for p in args.policies:
+            row += f"{by_cell[(w, p)]['stall_ns']:>14,.0f}"
+        print(row + f"   winner: {sweep['winners'][w]}")
+    print("\nstall_ns per cell (lower is better); programmed vs leap:")
+    for w, cmp in sweep["programmed_vs_leap"].items():
+        print(
+            f"  {w:<{width}} leap={cmp['leap_stall_ns']:,.0f}  "
+            f"programmed={cmp['programmed_stall_ns']:,.0f}  "
+            f"reduction={cmp['reduction']:.1%}"
+        )
+
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

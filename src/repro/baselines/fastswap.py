@@ -16,14 +16,23 @@ from repro.cache.swap import SwapSection
 from repro.memsim.address import PAGE_SIZE
 from repro.memsim.clock import VirtualClock
 from repro.memsim.resources import SerialResource
+from repro.prefetch import make_policy
 
 
 class FastSwap(MemorySystem):
-    """Whole-heap page swapping with demand paging."""
+    """Whole-heap page swapping with demand paging.
+
+    ``policy`` attaches an optional :class:`~repro.prefetch.PrefetchPolicy`
+    (instance or name): the policy observes every touched page, proposes
+    prefetches on demand misses, and receives used/wasted feedback from
+    the swap section.  FastSwap itself defaults to no policy.
+    """
 
     name = "fastswap"
 
-    def __init__(self, cost, local_mem_bytes, clock=None, num_threads=1) -> None:
+    def __init__(
+        self, cost, local_mem_bytes, clock=None, num_threads=1, policy=None
+    ) -> None:
         super().__init__(cost, local_mem_bytes, clock)
         self.fault_lock = SerialResource("swap-lock") if num_threads > 1 else None
         self.swap = SwapSection(
@@ -34,11 +43,21 @@ class FastSwap(MemorySystem):
             extra_fault_ns=self._extra_fault_ns(),
             fault_lock=self.fault_lock,
         )
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        self.policy = policy
+        if policy is not None:
+            policy.bind(self)
+            self.swap.feedback_policy = policy
         #: obj_id -> (ObjectInfo, ObjectStats, base_va, size limit); ids are
         #: never reused, so entries stay valid for the system's lifetime
         self._obj_cache: dict[int, tuple] = {}
-        #: skip the per-access hook unless a subclass (Leap) overrides it
-        self._has_after_hook = type(self)._after_access is not FastSwap._after_access
+        #: skip the per-access hook unless a policy is attached or a
+        #: subclass overrides it
+        self._has_after_hook = (
+            policy is not None
+            or type(self)._after_access is not FastSwap._after_access
+        )
 
     def _extra_fault_ns(self) -> float:
         return 0.0
@@ -87,7 +106,40 @@ class FastSwap(MemorySystem):
             self._after_access(obj, offset, size, hit)
 
     def _after_access(self, obj, offset: int, size: int, hit: bool) -> None:
-        """Hook for Leap's prefetcher."""
+        """Drive the attached prefetch policy (record stream + plan on miss)."""
+        policy = self.policy
+        if policy is None:
+            return
+        va = obj.va_of(offset)
+        swap = self.swap
+        for page in swap.pages_of(va, size):
+            policy.record(page)
+        if hit:
+            return
+        # a demand miss: ask the policy for future pages
+        plan = policy.plan(va // PAGE_SIZE)
+        if not plan:
+            return
+        tracer = self.tracer
+        if tracer is not None and policy.traced:
+            tracer.emit(
+                "prefetch.plan",
+                self.clock.now,
+                pol=policy.name,
+                line=va // PAGE_SIZE,
+                n=len(plan),
+            )
+        # cap issuance below the section capacity: a plan longer than the
+        # cache would evict the page just faulted in (and then each other),
+        # turning an aggressive window into guaranteed thrashing
+        budget = swap.capacity_pages - 1
+        for p in plan:
+            if budget <= 0:
+                break
+            if p >= 0 and not swap.contains(p):
+                swap.prefetch(p, obj.obj_id)
+                policy.issued += 1
+                budget -= 1
 
     # -- bulk path (codegen engine) ------------------------------------------
 
@@ -169,3 +221,9 @@ class FastSwap(MemorySystem):
 
     def metadata_bytes(self) -> int:
         return self.swap.metadata_bytes()
+
+    def collect_section_stats(self) -> dict[str, dict]:
+        """Per-section stats in the CacheManager shape (one swap section),
+        so metrics collection and the prefetch benchmark treat baselines
+        and Mira uniformly."""
+        return {"swap": vars(self.swap.stats).copy()}

@@ -14,127 +14,44 @@ Two properties the paper leans on (sections 4.5, 6.1):
   pages the random accesses never use.
 * Leap's fault datapath is less optimized than FastSwap's, so it loses to
   FastSwap when its prefetches do not help.
+
+Since PR 7 the prefetcher itself is a pluggable policy
+(:mod:`repro.prefetch`); ``Leap`` is the FastSwap chassis plus Leap's
+fault path plus whichever policy ``$REPRO_PREFETCH`` selects (default:
+the classic majority-trend detector, re-exported below for
+compatibility).
 """
 
 from __future__ import annotations
 
-from collections import deque
+import os
 
 from repro.baselines.fastswap import FastSwap
-from repro.memsim.address import PAGE_SIZE
-
-#: page-access history length
-HISTORY_LEN = 32
-#: Boyer-Moore detection windows tried smallest-first (Leap grows the
-#: window until a majority appears)
-DETECT_WINDOWS = (8, 16, 32)
-#: prefetch window bounds
-MIN_PREFETCH = 1
-MAX_PREFETCH = 32
-
-
-class MajorityTrendPrefetcher:
-    """Boyer-Moore majority-stride detector with an adaptive window."""
-
-    def __init__(self) -> None:
-        self._history: deque[int] = deque(maxlen=HISTORY_LEN)
-        #: inter-access strides, maintained incrementally alongside the
-        #: history (always == pairwise deltas of ``_history``); rebuilding
-        #: both lists per fault dominated Leap's wall-clock cost
-        self._deltas: deque[int] = deque(maxlen=HISTORY_LEN - 1)
-        self._window = MIN_PREFETCH
-        self._outstanding: set[int] = set()
-        self._useful = 0
-        self._issued = 0
-        self._last_page: int | None = None
-
-    def record(self, page: int) -> None:
-        # Leap observes the fault/access stream at page granularity:
-        # repeated accesses within one page are a single history event
-        if page == self._last_page:
-            return
-        history = self._history
-        if history:
-            self._deltas.append(page - history[-1])
-        self._last_page = page
-        history.append(page)
-        if page in self._outstanding:
-            self._outstanding.discard(page)
-            self._useful += 1
-
-    def majority_stride(self) -> int | None:
-        """The majority inter-access page stride, or None."""
-        if not self._deltas:
-            return None
-        deltas = list(self._deltas)
-        for w in DETECT_WINDOWS:
-            window = deltas[-w:]
-            if len(window) < 2:
-                continue
-            candidate = _boyer_moore(window)
-            if candidate is None or candidate == 0:
-                continue
-            if window.count(candidate) * 2 > len(window):
-                return candidate
-        return None
-
-    def plan(self, page: int) -> list[int]:
-        """Pages to prefetch after a miss on ``page``."""
-        self._adapt()
-        stride = self.majority_stride()
-        if stride is None:
-            return []
-        plan = [page + stride * i for i in range(1, self._window + 1)]
-        self._outstanding.update(plan)
-        self._issued += len(plan)
-        return plan
-
-    def _adapt(self) -> None:
-        if self._issued == 0:
-            return
-        if self._useful * 2 >= self._issued:
-            self._window = min(self._window * 2, MAX_PREFETCH)
-        else:
-            self._window = max(self._window // 2, MIN_PREFETCH)
-        self._useful = 0
-        self._issued = 0
-        self._outstanding.clear()
-
-
-def _boyer_moore(items: list[int]) -> int | None:
-    """Boyer-Moore majority-vote candidate (unverified)."""
-    count = 0
-    candidate: int | None = None
-    for x in items:
-        if count == 0:
-            candidate = x
-            count = 1
-        elif x == candidate:
-            count += 1
-        else:
-            count -= 1
-    return candidate
+from repro.prefetch.majority import (  # noqa: F401  (compat re-exports)
+    DETECT_WINDOWS,
+    HISTORY_LEN,
+    MAX_PREFETCH,
+    MIN_PREFETCH,
+    MajorityTrendPrefetcher,
+    _boyer_moore,
+)
+from repro.prefetch.policy import POLICY_ENV
 
 
 class Leap(FastSwap):
-    """FastSwap's structure with Leap's prefetcher and fault path."""
+    """FastSwap's structure with Leap's fault path and a prefetch policy."""
 
     name = "leap"
 
-    def __init__(self, cost, local_mem_bytes, clock=None, num_threads=1) -> None:
-        super().__init__(cost, local_mem_bytes, clock, num_threads)
-        self.prefetcher = MajorityTrendPrefetcher()
+    def __init__(
+        self, cost, local_mem_bytes, clock=None, num_threads=1, policy=None
+    ) -> None:
+        if policy is None:
+            policy = os.environ.get(POLICY_ENV, "leap")
+        super().__init__(cost, local_mem_bytes, clock, num_threads, policy=policy)
+        #: compat alias for the embedded-prefetcher era (None unless the
+        #: active policy is the classic majority-trend one)
+        self.prefetcher = getattr(self.policy, "prefetcher", None)
 
     def _extra_fault_ns(self) -> float:
         return self.cost.leap_extra_fault_ns
-
-    def _after_access(self, obj, offset: int, size: int, hit: bool) -> None:
-        va = obj.va_of(offset)
-        for page in self.swap.pages_of(va, size):
-            self.prefetcher.record(page)
-        if hit:
-            return
-        # a fault occurred: plan prefetches along the majority stride
-        for p in self.prefetcher.plan(va // PAGE_SIZE):
-            if p >= 0 and not self.swap.contains(p):
-                self.swap.prefetch(p, obj.obj_id)

@@ -24,7 +24,9 @@ class CacheManager(MemorySystem):
 
     name = "mira"
 
-    def __init__(self, cost, local_mem_bytes, clock=None, fault_lock=None) -> None:
+    def __init__(
+        self, cost, local_mem_bytes, clock=None, fault_lock=None, policy=None
+    ) -> None:
         super().__init__(cost, local_mem_bytes, clock)
         self._sections: dict[str, CacheSection] = {}
         self._assignment: dict[int, str] = {}
@@ -33,6 +35,17 @@ class CacheManager(MemorySystem):
         self.swap = SwapSection(
             local_mem_bytes, cost, self.clock, self.network, fault_lock=fault_lock
         )
+        if isinstance(policy, str):
+            from repro.prefetch import make_policy
+
+            policy = make_policy(policy)
+        #: optional prefetch policy driving the swap path (objects inside
+        #: cache sections are prefetched by the compiler's explicit
+        #: prefetch ops; the policy covers what stays on the swap path)
+        self.policy = policy
+        if policy is not None:
+            policy.bind(self)
+            self.swap.feedback_policy = policy
         #: peak metadata observed, for Fig. 20
         self.peak_metadata_bytes = 0
         #: current virtual thread id (set by the interpreter inside
@@ -328,6 +341,8 @@ class CacheManager(MemorySystem):
                 hit = self.swap._access_page(first, is_write, obj_id)
             else:
                 hit = self.swap.access(va, size, is_write, obj_id)
+            if self.policy is not None:
+                self._drive_policy(obj, va, sz, hit)
         else:
             ls = section._line_size
             first = offset // ls
@@ -345,6 +360,38 @@ class CacheManager(MemorySystem):
         self._access_counter += 1
         if not self._access_counter % 256:
             self._track_metadata()
+
+    def _drive_policy(self, obj, va: int, size: int, hit: bool) -> None:
+        """Feed one swap-path access to the prefetch policy (same contract
+        as ``FastSwap._after_access``)."""
+        policy = self.policy
+        swap = self.swap
+        for page in swap.pages_of(va, size):
+            policy.record(page)
+        if hit:
+            return
+        plan = policy.plan(va // PAGE_SIZE)
+        if not plan:
+            return
+        tracer = self.tracer
+        if tracer is not None and policy.traced:
+            tracer.emit(
+                "prefetch.plan",
+                self.clock.now,
+                pol=policy.name,
+                line=va // PAGE_SIZE,
+                n=len(plan),
+            )
+        # same thrash guard as FastSwap._after_access: never issue more
+        # than fits alongside the page just faulted in
+        budget = swap.capacity_pages - 1
+        for p in plan:
+            if budget <= 0:
+                break
+            if p >= 0 and not swap.contains(p):
+                swap.prefetch(p, obj.obj_id)
+                policy.issued += 1
+                budget -= 1
 
     def bulk_load(
         self, obj_id, offset0, stride, size, count, native, dram_ns, cpu_ns
@@ -396,6 +443,7 @@ class CacheManager(MemorySystem):
             return True
         if (
             self.tracer is not None
+            or self.policy is not None
             or self._degrade_pending
             or self.network.faults is not None
             or stride % 8

@@ -370,9 +370,13 @@ class CacheSection(abc.ABC):
 
     def close(self) -> None:
         """Flush everything; used when a section's lifetime ends."""
+        now = self.clock.now
         for line in self.resident_lines():
             if line.dirty:
                 self._writeback(line)
+            if line.ready_at and line.ready_at > now:
+                # the section died before its in-flight prefetch landed
+                self.stats.prefetch_wasted += 1
         for line in list(self.resident_lines()):
             self.remove(line.key)
 
@@ -386,6 +390,11 @@ class CacheSection(abc.ABC):
         self.stats.evictions += 1
         if victim.evictable:
             self.stats.hinted_evictions += 1
+        if victim.ready_at and victim.ready_at > self.clock.now:
+            # evicted before the prefetched data ever arrived: wasted
+            # (mirrors SwapSection's accounting, so the waste-ratio gauge
+            # means the same thing on both paths)
+            self.stats.prefetch_wasted += 1
         ev = self._evict_overhead
         self.clock.advance(ev, "evict_overhead")
         self.stats.overhead_ns += ev

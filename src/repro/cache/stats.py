@@ -35,6 +35,14 @@ class SectionStats:
             return 0.0
         return self.misses / self.accesses
 
+    @property
+    def prefetch_waste_ratio(self) -> float:
+        """Share of issued prefetches discarded before their data was
+        read (evicted in flight, or dropped at section close/resize)."""
+        if self.prefetches_issued == 0:
+            return 0.0
+        return self.prefetch_wasted / self.prefetches_issued
+
     def merge(self, other: "SectionStats") -> None:
         for f in (
             "accesses",
@@ -58,6 +66,9 @@ class SectionStats:
         for fname, value in vars(self).items():
             registry.gauge(f"{prefix}.{fname}").set(value)
         registry.gauge(f"{prefix}.miss_rate").set(self.miss_rate)
+        registry.gauge(f"{prefix}.prefetch_waste_ratio").set(
+            self.prefetch_waste_ratio
+        )
 
 
 @dataclass

@@ -65,6 +65,9 @@ class SwapSection:
         self._emit_hit = None
         self._emit_fault = None
         self._emit_prefetch_hit = None
+        #: attached :class:`repro.prefetch.PrefetchPolicy` receiving
+        #: used/wasted feedback for its prefetches (None: no policy)
+        self.feedback_policy = None
         #: fault-path constant, resolved once (per-miss path)
         self._fault_ns = cost.page_fault_ns + extra_fault_ns
 
@@ -118,6 +121,7 @@ class SwapSection:
                 entry.evictable = False
                 self._evictable.pop(page, None)
             ready_at = entry.ready_at
+            timely = False
             if ready_at:
                 clock = self.clock
                 if ready_at > clock.now:
@@ -136,14 +140,18 @@ class SwapSection:
                             line=page,
                             wait=wait,
                         )
+                    self._feedback(page, True, False)
                     return False
                 # prefetch settled: clear the marker so eviction sees a
                 # plain resident page, not a stale in-flight one
                 entry.ready_at = 0.0
+                timely = True
             stats.hits += 1
             em = self._emit_hit
             if em is not None:
                 em(self.clock.now, sec="swap", obj=obj_id, line=page)
+            if timely:
+                self._feedback(page, True, True)
             return True
         # page fault: kernel path, then a one-sided page read (recorded
         # on the network so traffic accounting sees the amplification)
@@ -241,6 +249,11 @@ class SwapSection:
         for page in doomed:
             entry = self._pages.pop(page)
             self._evictable.pop(page, None)
+            if entry.ready_at and entry.ready_at > self.clock.now:
+                # an in-flight prefetch discarded with the object: wasted
+                # (the eviction path counts its own; this is close/migrate)
+                self.stats.prefetch_wasted += 1
+                self._feedback(page, False)
             if entry.dirty:
                 self.network.write_async(PAGE_SIZE, one_sided=True)
                 self.stats.writebacks += 1
@@ -322,6 +335,24 @@ class SwapSection:
             self.clock.advance(self.cost.page_writeback_ns, "eviction")
             self.network.write_async(PAGE_SIZE, one_sided=True)
             self.stats.writebacks += 1
+        if wasted:
+            self._feedback(page, False)
+
+    def _feedback(self, page: int, useful: bool, timely: bool = False) -> None:
+        """Report a prefetched page's fate to the attached policy."""
+        fp = self.feedback_policy
+        if fp is None:
+            return
+        fp.feedback(page, useful, timely)
+        if fp.traced and self.tracer is not None:
+            self.tracer.emit(
+                "prefetch.feedback",
+                self.clock.now,
+                pol=fp.name,
+                line=page,
+                useful=useful,
+                timely=timely,
+            )
 
     # -- reporting -----------------------------------------------------------
 

@@ -27,6 +27,7 @@ def run_plan(
     num_threads: int = 1,
     tracer=None,
     faults=None,
+    prefetch_policy=None,
 ) -> RunResult:
     """Run a pipeline-compiled module on the Mira runtime.
 
@@ -34,17 +35,30 @@ def run_plan(
     and runtime event of the run; None (the default) disables tracing.
     ``faults`` (a :class:`repro.faults.FaultPlan`) injects seeded network
     and far-node faults; None (the default) runs a healthy machine.
+    ``prefetch_policy`` (a :class:`repro.prefetch.PrefetchPolicy` or
+    name) drives swap-path prefetching; None keeps demand paging.
     """
     from repro.memsim.resources import SerialResource
 
     fault_lock = SerialResource("swap-lock") if num_threads > 1 else None
-    manager = CacheManager(cost, local_mem_bytes, fault_lock=fault_lock)
+    manager = CacheManager(
+        cost, local_mem_bytes, fault_lock=fault_lock, policy=prefetch_policy
+    )
     if tracer is not None:
         # attach before sections open so sec.open events are captured
         manager.set_tracer(tracer)
     if faults is not None:
         manager.enable_faults(faults)
     plan: MiraPlan = compiled.attrs.get("plan", MiraPlan.swap_only())
+    if manager.policy is not None:
+        if getattr(manager.policy, "wants_program", False):
+            # plan-time injection: the programmed policy reads its page
+            # program from the plan notes (lowered here if the planner
+            # did not already attach one)
+            from repro.core.section_planner import attach_prefetch_program
+
+            attach_prefetch_program(plan, compiled, entry)
+        manager.policy.prepare(compiled, plan=plan, entry=entry)
     for sp in plan.sections:
         manager.open_section(sp.config, [], per_thread=sp.per_thread)
         for name in sp.object_names:
@@ -66,5 +80,8 @@ def run_on_baseline(
         system.set_tracer(tracer)
     if faults is not None:
         system.enable_faults(faults)
+    policy = getattr(system, "policy", None)
+    if policy is not None:
+        policy.prepare(module, entry=entry)
     interp = Interpreter(module, system, data_init)
     return interp.run(entry)

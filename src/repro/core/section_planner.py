@@ -77,6 +77,25 @@ def plan_sections(
     return plan
 
 
+def attach_prefetch_program(
+    plan: MiraPlan, module: Module, entry: str = "main"
+) -> dict:
+    """Lower the module's affine page streams and inject them into the
+    plan (3PO-style programmed prefetching, consumed by
+    ``repro.prefetch.programmed.ProgrammedPolicy`` at run time).
+
+    Idempotent: an already-attached program is returned unchanged, so the
+    planner and the runner can both call this without re-lowering.
+    """
+    program = plan.notes.get("prefetch_program")
+    if program is None:
+        from repro.prefetch.programmed import lower_prefetch_program
+
+        program = lower_prefetch_program(module, entry)
+        plan.notes["prefetch_program"] = program
+    return program
+
+
 def _with_callees(module: Module, functions: list[str]) -> list[str]:
     """Selecting a function implicitly selects its callees (section 4.1)."""
     out = list(functions)

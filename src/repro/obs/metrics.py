@@ -176,8 +176,18 @@ def collect_run_metrics(result, registry: MetricsRegistry | None = None) -> Metr
                 reg.gauge(f"cache.{sec_name}.miss_rate").set(
                     fields.get("misses", 0) / accesses
                 )
+            issued = fields.get("prefetches_issued", 0)
+            reg.gauge(f"cache.{sec_name}.prefetch_waste_ratio").set(
+                fields.get("prefetch_wasted", 0) / issued if issued else 0.0
+            )
             if fields.get("misses"):
                 miss_wait.observe(fields.get("miss_wait_ns", 0.0))
+    policy = getattr(memsys, "policy", None)
+    if policy is not None:
+        # per-policy accuracy/coverage/timeliness (repro.prefetch)
+        for k, v in policy.snapshot().items():
+            if k != "policy":
+                reg.gauge(f"prefetch.{policy.name}.{k}").set(v)
     func_ns = reg.histogram("func.exclusive_ns")
     for prof in result.profiler.functions.values():
         func_ns.observe(prof.exclusive_ns)

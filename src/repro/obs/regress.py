@@ -1,8 +1,9 @@
 """Perf-regression gate over the committed BENCH baselines.
 
 Compares fresh measurements against ``BENCH_chaos.json`` (virtual-time
-chaos cells) and ``BENCH_engine.json`` (interpreter throughput plus the
-virtual time of the Fig. 5 single points):
+chaos cells), ``BENCH_engine.json`` (interpreter throughput plus the
+virtual time of the Fig. 5 single points), and ``BENCH_prefetch.json``
+(prefetch-policy sweep stall/elapsed, when committed):
 
 * **virtual-time metrics are hard-gated**: the simulator is
   deterministic, so ``healthy_ns``/``faulty_ns``/``virtual_ns`` must
@@ -43,6 +44,9 @@ DEFAULT_WORKLOADS = ("array_sum", "graph_traversal")
 DEFAULT_SYSTEMS = ("fastswap", "mira")
 DEFAULT_SEEDS = (1,)
 DEFAULT_INTENSITIES = ("medium",)
+#: prefetch cells re-measured live by default: the two workloads where the
+#: policy ranking is most load-bearing (sequential + oblivious headliner)
+DEFAULT_PREFETCH_WORKLOADS = ("array_sum", "dataframe")
 
 
 @dataclass
@@ -96,10 +100,27 @@ def flatten_engine(doc: dict) -> dict[str, float]:
     return out
 
 
-def load_baselines(engine_path, chaos_path) -> dict[str, float]:
+def flatten_prefetch(doc: dict) -> dict[str, float]:
+    """``BENCH_prefetch.json`` cells -> flat {metric: virtual ns}.
+
+    Both ``stall_ns`` (the profiler's prefetch-relevant attribution) and
+    ``elapsed_ns`` are hard-gated: the sweep is virtual-time
+    deterministic, so any drift is a behavior change, not noise.
+    """
+    out: dict[str, float] = {}
+    for cell in doc.get("cells", []):
+        key = f"prefetch.{cell['workload']}.{cell['policy']}"
+        out[key + ".stall_ns"] = float(cell["stall_ns"])
+        out[key + ".elapsed_ns"] = float(cell["elapsed_ns"])
+    return out
+
+
+def load_baselines(engine_path, chaos_path, prefetch_path=None) -> dict[str, float]:
     metrics: dict[str, float] = {}
     metrics.update(flatten_engine(load_json(engine_path)))
     metrics.update(flatten_chaos(load_json(chaos_path)))
+    if prefetch_path is not None:
+        metrics.update(flatten_prefetch(load_json(prefetch_path)))
     return metrics
 
 
@@ -174,6 +195,22 @@ def _measure_virtual_points() -> dict[str, float]:
     }
 
 
+def _measure_prefetch(workloads=DEFAULT_PREFETCH_WORKLOADS) -> dict[str, float]:
+    """Deterministic stall/elapsed of the prefetch-policy sweep on a
+    subset of workloads (same cells ``benchmarks/prefetch_smoke.py``
+    stores in ``BENCH_prefetch.json``)."""
+    from repro.bench.prefetch import POLICIES, measure_cell
+
+    metrics: dict[str, float] = {}
+    for workload in workloads:
+        for policy in POLICIES:
+            cell = measure_cell(workload, policy)
+            key = f"prefetch.{workload}.{policy}"
+            metrics[key + ".stall_ns"] = float(cell["stall_ns"])
+            metrics[key + ".elapsed_ns"] = float(cell["elapsed_ns"])
+    return metrics
+
+
 def measure_current(
     workloads=DEFAULT_WORKLOADS,
     systems=DEFAULT_SYSTEMS,
@@ -181,6 +218,8 @@ def measure_current(
     intensities=DEFAULT_INTENSITIES,
     throughput: bool = True,
     single_points: bool = True,
+    prefetch: bool = True,
+    prefetch_workloads=DEFAULT_PREFETCH_WORKLOADS,
 ) -> dict[str, float]:
     """Re-measure a subset of the baseline metrics, live.
 
@@ -206,6 +245,8 @@ def measure_current(
         metrics.update(_measure_virtual_points())
     if throughput:
         metrics.update(_measure_throughput())
+    if prefetch:
+        metrics.update(_measure_prefetch(prefetch_workloads))
     return metrics
 
 
@@ -275,6 +316,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     ap.add_argument("--engine", default=None, help="BENCH_engine.json path")
     ap.add_argument("--chaos", default=None, help="BENCH_chaos.json path")
+    ap.add_argument("--prefetch", default=None, help="BENCH_prefetch.json path")
     ap.add_argument(
         "--current",
         default=None,
@@ -292,12 +334,23 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--no-throughput", action="store_true")
     ap.add_argument("--no-points", action="store_true",
                     help="skip the Fig. 5 single-point virtual-time metrics")
+    ap.add_argument("--no-prefetch", action="store_true",
+                    help="skip the prefetch-policy sweep metrics")
+    ap.add_argument(
+        "--prefetch-workloads",
+        nargs="+",
+        default=list(DEFAULT_PREFETCH_WORKLOADS),
+        help="workloads to re-measure in the prefetch sweep",
+    )
     args = ap.parse_args(argv)
 
     engine_path = args.engine or _repo_default("BENCH_engine.json")
     chaos_path = args.chaos or _repo_default("BENCH_chaos.json")
+    prefetch_path = args.prefetch or _repo_default("BENCH_prefetch.json")
+    if args.no_prefetch or not pathlib.Path(prefetch_path).exists():
+        prefetch_path = None
     try:
-        baseline = load_baselines(engine_path, chaos_path)
+        baseline = load_baselines(engine_path, chaos_path, prefetch_path)
     except (OSError, ValueError, KeyError) as e:
         print(f"regress: cannot load baselines: {e}")
         return 2
@@ -321,6 +374,8 @@ def main(argv: list[str] | None = None) -> int:
             args.intensities,
             throughput=not args.no_throughput,
             single_points=not args.no_points,
+            prefetch=not args.no_prefetch and prefetch_path is not None,
+            prefetch_workloads=args.prefetch_workloads,
         )
     if args.save_current:
         with open(args.save_current, "w", encoding="utf-8") as f:

@@ -84,6 +84,13 @@ KINDS = frozenset(
         "fault.giveup",
         # graceful degradation applied by the cache manager
         "degrade.section",
+        # pluggable prefetch policies (repro.prefetch): a policy's plan on
+        # a demand miss, and the fate of one of its prefetches (used
+        # timely/late, or discarded unread).  Only policies with
+        # ``traced = True`` emit these; the default Leap-compat policy
+        # stays silent so pre-PR-7 golden digests hold.
+        "prefetch.plan",
+        "prefetch.feedback",
     }
 )
 

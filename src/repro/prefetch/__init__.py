@@ -1,0 +1,30 @@
+"""Pluggable prefetch policies (Mira §6 / 3PO / Leap).
+
+Prefetching is a *strategy*: the memory systems (``FastSwap``, ``Leap``,
+``CacheManager``) own the mechanism -- issuing asynchronous page reads --
+while a :class:`PrefetchPolicy` owns the decision of *what* to fetch.
+Policies observe the page-access stream (``record``), propose future
+pages on a demand miss (``plan``), and learn from the fate of their
+prefetches (``feedback``: used-timely / used-late / wasted).
+
+All policies are deterministic: integer-only state, insertion-ordered
+tables, explicit tie-breaks.  Two runs of the same workload under the
+same policy produce bit-identical virtual time and byte-identical
+traces on every engine.
+"""
+
+from repro.prefetch.policy import (
+    POLICY_ENV,
+    POLICY_NAMES,
+    PrefetchPolicy,
+    make_policy,
+    policy_from_env,
+)
+
+__all__ = [
+    "POLICY_ENV",
+    "POLICY_NAMES",
+    "PrefetchPolicy",
+    "make_policy",
+    "policy_from_env",
+]

@@ -1,0 +1,256 @@
+"""3PO-style *programmed* prefetch policy.
+
+3PO's observation: for oblivious access patterns the compiler knows the
+exact future address stream, so prefetching needs no prediction at all.
+We already compute that information -- scalar evolution resolves every
+affine index to ``base + coeff * i``, and literal loop bounds give the
+trip count -- so :func:`lower_prefetch_program` walks the IR from the
+entry function and lowers every SCEV-resolved affine access with literal
+bounds into a *page program*: an ordered list of per-allocation page
+segments (start/stop/step, relative to the object base).
+
+The planner injects this program into the Mira plan notes at plan time
+(``core.section_planner.attach_prefetch_program``); baseline runs lower
+it directly in ``prepare``.  At runtime the policy resolves allocation
+names to live objects through the address space (objects are
+page-aligned with a guard page, so a page has a unique owner), keeps a
+per-object cursor into the materialized page stream, advances it as
+``record`` observes touches, and answers ``plan`` with the next pages of
+the faulting object's stream -- exact future pages, no history needed.
+
+Indirect and non-literal accesses are skipped (sound: the policy simply
+stays silent for them), which is exactly the regime where the history
+policies still apply.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.access import analyze_scope
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.scev import Affine
+from repro.ir.dialects import arith, func as func_d, memref, rmem, scf
+from repro.memsim.address import PAGE_SIZE
+from repro.prefetch.policy import PrefetchPolicy
+from repro.transforms.utils import enclosing_loop
+
+#: pages proposed per miss
+WINDOW = 16
+#: how far past the cursor record/plan searches for the touched page
+LOOKAHEAD = 64
+#: times a literal outer loop re-plays its inner segments
+REPEAT_CAP = 4
+#: total segments per program / pages per materialized stream
+MAX_SEGMENTS = 256
+MAX_STREAM = 8192
+#: call-graph depth the lowering follows
+MAX_CALL_DEPTH = 4
+
+_LOOP_OPS = (scf.ForOp, scf.ParallelOp)
+_TOUCH_OPS = (memref.TouchOp, rmem.RTouchOp)
+
+
+def _literal(value) -> int | None:
+    prod = value.producer
+    if not isinstance(prod, arith.ConstantOp):
+        return None
+    return int(prod.value)
+
+
+def _trip_count(loop) -> int | None:
+    vals = []
+    for v in (loop.lb, loop.ub, loop.step):
+        lit = _literal(v)
+        if lit is None:
+            return None
+        vals.append(lit)
+    lb, ub, step = vals
+    if step <= 0:
+        return None
+    return max(0, (ub - lb + step - 1) // step)
+
+
+def _segment_of(rec, site, trips) -> dict | None:
+    """Relative page segment covered by one affine record over a loop."""
+    scev = rec.scev
+    if not isinstance(scev, Affine) or scev.coeff == 0 or scev.base_const is None:
+        return None
+    if trips is None or trips <= 0:
+        return None
+    if not site.name:
+        return None  # anonymous site: cannot resolve to a live object
+    # touch indices are byte offsets; load/store indices are elements
+    unit = 1 if isinstance(rec.op, _TOUCH_OPS) else site.elem_type.byte_size
+    span = max(rec.granularity, 1)
+    first = scev.base_const * unit
+    last = (scev.base_const + scev.coeff * (trips - 1)) * unit
+    lo, hi = min(first, last), max(first, last) + span - 1
+    limit = site.num_elems * site.elem_type.byte_size - 1
+    lo, hi = max(lo, 0), min(hi, limit)
+    if lo > hi:
+        return None
+    p0, p1 = lo // PAGE_SIZE, hi // PAGE_SIZE
+    if scev.coeff < 0:
+        return {"site": site.name, "start": p1, "stop": p0, "step": -1}
+    return {"site": site.name, "start": p0, "stop": p1, "step": 1}
+
+
+def _lower_loop(loop, alias, module, segments, depth) -> None:
+    trips = _trip_count(loop)
+    summaries = analyze_scope(loop, alias)
+    for site, summary in summaries.items():
+        for rec in summary.records:
+            if enclosing_loop(rec.op) is not loop:
+                continue  # lowered when its own loop is visited
+            seg = _segment_of(rec, site, trips)
+            if seg is not None and len(segments) < MAX_SEGMENTS:
+                segments.append(seg)
+    # re-play nested control flow once per (capped) outer iteration so a
+    # literal repeat loop re-announces its inner scans
+    inner = [
+        op
+        for op in loop.body.ops
+        if isinstance(op, _LOOP_OPS + (func_d.CallOp,))
+    ]
+    if not inner:
+        return
+    repeats = min(trips if trips else 1, REPEAT_CAP)
+    for _ in range(max(repeats, 1)):
+        for op in inner:
+            _lower_op(op, alias, module, segments, depth)
+
+
+def _lower_op(op, alias, module, segments, depth) -> None:
+    if len(segments) >= MAX_SEGMENTS:
+        return
+    if isinstance(op, _LOOP_OPS):
+        _lower_loop(op, alias, module, segments, depth)
+    elif isinstance(op, func_d.CallOp) and depth < MAX_CALL_DEPTH:
+        callee = module.functions.get(op.callee)
+        if callee is not None:
+            _lower_body(callee, alias, module, segments, depth + 1)
+
+
+def _lower_body(fn, alias, module, segments, depth) -> None:
+    for op in fn.body.ops:
+        _lower_op(op, alias, module, segments, depth)
+
+
+def lower_prefetch_program(module, entry: str = "main") -> dict:
+    """Lower the module's affine accesses into a page program."""
+    fn = module.functions.get(entry)
+    if fn is None:
+        return {"entry": entry, "segments": []}
+    alias = AliasAnalysis(module)
+    segments: list[dict] = []
+    _lower_body(fn, alias, module, segments, depth=0)
+    return {"entry": entry, "segments": segments}
+
+
+class ProgrammedPolicy(PrefetchPolicy):
+    name = "programmed"
+    #: set by the runner so ``prepare`` can self-lower on baselines
+    wants_program = True
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._program: dict = {"entry": "main", "segments": []}
+        #: site name -> ordered relative page list (consecutive-deduped)
+        self._rel_streams: dict[str, list[int]] = {}
+        #: page -> obj_id owning it, or -1 for pages outside any stream
+        self._page_owner: dict[int, int] = {}
+        #: obj_id -> (absolute page stream, cursor)
+        self._streams: dict[int, list[int]] = {}
+        self._cursor: dict[int, int] = {}
+        self._known_objects: set[int] = set()
+
+    # -- program loading -------------------------------------------------------
+
+    def prepare(self, module, plan=None, entry: str = "main") -> None:
+        notes = getattr(plan, "notes", None) or {}
+        program = notes.get("prefetch_program")
+        if program is None and module is not None:
+            program = lower_prefetch_program(module, entry)
+        if program is not None:
+            self.load_program(program)
+
+    def load_program(self, program: dict) -> None:
+        self._program = program
+        streams: dict[str, list[int]] = {}
+        for seg in program.get("segments", []):
+            pages = streams.setdefault(seg["site"], [])
+            if len(pages) >= MAX_STREAM:
+                continue
+            for p in range(seg["start"], seg["stop"] + seg["step"], seg["step"]):
+                if pages and pages[-1] == p:
+                    continue
+                pages.append(p)
+                if len(pages) >= MAX_STREAM:
+                    break
+        self._rel_streams = streams
+        self._page_owner.clear()
+        self._streams.clear()
+        self._cursor.clear()
+        self._known_objects.clear()
+
+    # -- runtime ---------------------------------------------------------------
+
+    def _discover(self) -> None:
+        """Map pages of newly allocated objects to their streams."""
+        space = getattr(self.memsys, "address_space", None)
+        if space is None:
+            return
+        for obj in space.objects():
+            oid = obj.obj_id
+            if oid in self._known_objects:
+                continue
+            self._known_objects.add(oid)
+            base_page = obj.base_va // PAGE_SIZE
+            npages = max(obj.size, 1) // PAGE_SIZE + 1
+            rel = self._rel_streams.get(obj.name)
+            owner = oid if rel else -1
+            for p in range(base_page, base_page + npages):
+                self._page_owner[p] = owner
+            if rel:
+                self._streams[oid] = [base_page + r for r in rel]
+                self._cursor[oid] = 0
+
+    def _owner(self, page: int) -> int:
+        owner = self._page_owner.get(page)
+        if owner is None:
+            self._discover()
+            owner = self._page_owner.get(page, -1)
+            self._page_owner[page] = owner
+        return owner
+
+    def record(self, page: int) -> None:
+        oid = self._owner(page)
+        if oid < 0:
+            return
+        stream = self._streams[oid]
+        cur = self._cursor[oid]
+        stop = min(cur + LOOKAHEAD, len(stream))
+        for i in range(cur, stop):
+            if stream[i] == page:
+                self._cursor[oid] = i + 1
+                return
+
+    def _plan(self, page: int) -> list[int]:
+        oid = self._owner(page)
+        if oid < 0:
+            return []
+        stream = self._streams[oid]
+        cur = self._cursor[oid]
+        # locate the faulting page at/after the cursor (record already
+        # advanced past it when it was in the lookahead window)
+        start = cur
+        for i in range(max(cur - 1, 0), min(cur + LOOKAHEAD, len(stream))):
+            if stream[i] == page:
+                start = i + 1
+                break
+        out: list[int] = []
+        for p in stream[start : start + WINDOW * 2]:
+            if p != page and p not in out:
+                out.append(p)
+                if len(out) >= WINDOW:
+                    break
+        return out

@@ -344,6 +344,143 @@ def test_fault_parity_across_seeds(seed, monkeypatch):
         )
 
 
+# -- prefetch-policy parity ---------------------------------------------------
+#
+# Policies (repro.prefetch) run inside shared MemorySystem code, so every
+# engine drives them through the identical record/plan/feedback sequence
+# at identical virtual times.  The fingerprint therefore adds the trace
+# digest (prefetch.plan / prefetch.feedback events included) and the
+# policy's own counters to the parity contract.
+
+PREFETCH_POLICIES = ("markov", "programmed", "learned")
+PREFETCH_WORKLOADS = {
+    "array_sum": {"num_elems": 4096},
+    "dataframe": {"num_rows": 2048, "num_locations": 2048},
+}
+
+
+def _policy_fingerprint(name: str, policy: str, engine: str) -> dict:
+    import os
+
+    from repro.baselines.leap import Leap
+
+    os.environ["REPRO_ENGINE"] = engine
+    try:
+        workload = make_workload(name, **PREFETCH_WORKLOADS[name])
+        memo = ModuleMemo(workload)
+        local = max(4096, int(memo.footprint_bytes * 0.5))
+        tracer = Tracer()
+        system = Leap(COST, local, policy=policy)
+        result = run_on_baseline(
+            memo.module, system, workload.data_init,
+            entry=workload.entry, tracer=tracer,
+        )
+        workload.verify_results(result.results)
+        return {
+            "results": list(result.results),
+            "elapsed_ns": result.elapsed_ns,
+            "breakdown": result.breakdown,
+            "trace_digest": tracer.digest(),
+            "trace_events": len(tracer),
+            "policy": system.policy.snapshot(),
+            "swap": vars(system.swap.stats).copy(),
+        }
+    finally:
+        os.environ.pop("REPRO_ENGINE", None)
+
+
+@pytest.mark.parametrize("policy", PREFETCH_POLICIES)
+@pytest.mark.parametrize("name", sorted(PREFETCH_WORKLOADS))
+def test_policy_engines_bit_identical(name, policy, monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    monkeypatch.delenv("REPRO_PREFETCH", raising=False)
+    reference = _policy_fingerprint(name, policy, "reference")
+    for engine in ("compiled", "codegen"):
+        other = _policy_fingerprint(name, policy, engine)
+        assert reference == other, (
+            f"{name}/{policy}: {engine} diverges from reference"
+        )
+
+
+def test_policy_env_knob_parity(monkeypatch):
+    """``REPRO_PREFETCH`` selects Leap's policy; the env path must be
+    byte-identical to passing the same policy explicitly."""
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    monkeypatch.setenv("REPRO_PREFETCH", "markov")
+    via_env = _policy_fingerprint("array_sum", None, "compiled")
+    monkeypatch.delenv("REPRO_PREFETCH")
+    explicit = _policy_fingerprint("array_sum", "markov", "compiled")
+    assert via_env == explicit
+
+
+def test_fastswap_policy_engines_bit_identical(monkeypatch):
+    """A policy on the plain FastSwap chassis (no Leap fault surcharge)
+    is engine-identical too."""
+    import os
+
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+
+    def fingerprint(engine):
+        os.environ["REPRO_ENGINE"] = engine
+        try:
+            workload = make_workload("array_sum", num_elems=4096)
+            memo = ModuleMemo(workload)
+            local = max(4096, int(memo.footprint_bytes * 0.5))
+            tracer = Tracer()
+            system = BASELINE_SYSTEMS["fastswap"](COST, local, policy="learned")
+            result = run_on_baseline(
+                memo.module, system, workload.data_init,
+                entry=workload.entry, tracer=tracer,
+            )
+            return {
+                "results": list(result.results),
+                "elapsed_ns": result.elapsed_ns,
+                "trace_digest": tracer.digest(),
+                "policy": system.policy.snapshot(),
+            }
+        finally:
+            os.environ.pop("REPRO_ENGINE", None)
+
+    reference = fingerprint("reference")
+    for engine in ("compiled", "codegen"):
+        assert reference == fingerprint(engine)
+
+
+def test_run_plan_prefetch_policy_engines_bit_identical(monkeypatch):
+    """``run_plan(prefetch_policy=...)`` attaches a policy to the Mira
+    CacheManager's swap path and injects the lowered prefetch program at
+    plan time; all engines must agree byte-for-byte."""
+    import os
+
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+
+    def fingerprint(engine):
+        os.environ["REPRO_ENGINE"] = engine
+        try:
+            workload = make_workload("array_sum", num_elems=4096)
+            memo = ModuleMemo(workload)
+            local = max(4096, int(memo.footprint_bytes * 0.5))
+            tracer = Tracer()
+            result = run_plan(
+                memo.fresh(), COST, local, data_init=workload.data_init,
+                entry=workload.entry, tracer=tracer,
+                prefetch_policy="programmed",
+            )
+            workload.verify_results(result.results)
+            return {
+                "results": list(result.results),
+                "elapsed_ns": result.elapsed_ns,
+                "trace_digest": tracer.digest(),
+                "policy": result.memsys.policy.snapshot(),
+            }
+        finally:
+            os.environ.pop("REPRO_ENGINE", None)
+
+    reference = fingerprint("reference")
+    for engine in ("compiled", "codegen"):
+        assert reference == fingerprint(engine)
+
+
 def test_engine_selection(monkeypatch):
     """The env knob actually selects the engine (guards against a future
     regression silently running reference twice)."""

@@ -85,7 +85,10 @@ def _traced_run(system: str) -> Tracer:
 
 
 @pytest.mark.parametrize("system", sorted(GOLDEN))
-def test_golden_trace_digest(system):
+def test_golden_trace_digest(system, monkeypatch):
+    # the CI prefetch matrix exports REPRO_PREFETCH; goldens pin the
+    # *default* policy, so the knob must not leak in here
+    monkeypatch.delenv("REPRO_PREFETCH", raising=False)
     tracer = _traced_run(system)
     digest, events = GOLDEN[system]
     assert (tracer.digest(), len(tracer)) == (digest, events), (
@@ -95,9 +98,10 @@ def test_golden_trace_digest(system):
     )
 
 
-def test_golden_traces_cover_event_variety():
+def test_golden_traces_cover_event_variety(monkeypatch):
     """Meta-check: the golden runs exercise a broad slice of the schema, so
     digest stability is a meaningful guarantee."""
+    monkeypatch.delenv("REPRO_PREFETCH", raising=False)
     kinds = set()
     for system in GOLDEN:
         kinds.update(kind for kind, _t, _fields in _traced_run(system).events)

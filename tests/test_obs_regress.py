@@ -14,6 +14,7 @@ from repro.obs.regress import (
     compare,
     flatten_chaos,
     flatten_engine,
+    flatten_prefetch,
     gate,
     load_baselines,
     measure_current,
@@ -22,6 +23,7 @@ from repro.obs.regress import (
 REPO = pathlib.Path(__file__).resolve().parent.parent
 ENGINE = REPO / "BENCH_engine.json"
 CHAOS = REPO / "BENCH_chaos.json"
+PREFETCH = REPO / "BENCH_prefetch.json"
 
 
 # -- flattening ----------------------------------------------------------------
@@ -65,6 +67,34 @@ def test_flatten_skips_incomplete_cells():
 def test_flatten_engine_tolerates_missing_sections():
     assert flatten_engine({}) == {}
     assert flatten_engine({"single_point": {}}) == {}
+
+
+def test_flatten_prefetch_cells():
+    doc = {
+        "cells": [
+            {"workload": "w", "policy": "p", "stall_ns": 5.0,
+             "elapsed_ns": 9.0, "buckets": {}},
+        ]
+    }
+    assert flatten_prefetch(doc) == {
+        "prefetch.w.p.stall_ns": 5.0,
+        "prefetch.w.p.elapsed_ns": 9.0,
+    }
+    assert flatten_prefetch({}) == {}
+
+
+def test_flatten_committed_prefetch_baseline():
+    metrics = load_baselines(ENGINE, CHAOS, PREFETCH)
+    cells = [k for k in metrics if k.startswith("prefetch.")]
+    assert cells
+    # every policy appears for the headline oblivious workload
+    for policy in ("none", "leap", "markov", "programmed", "learned"):
+        assert f"prefetch.dataframe.{policy}.stall_ns" in metrics
+    # the acceptance comparison is visible straight from the baseline
+    assert (
+        metrics["prefetch.dataframe.programmed.stall_ns"]
+        < 0.75 * metrics["prefetch.dataframe.leap.stall_ns"]
+    )
 
 
 # -- comparison semantics ------------------------------------------------------
@@ -243,8 +273,10 @@ def test_measure_throughput_restores_env_on_error(monkeypatch):
 
 def test_measured_chaos_cell_matches_committed_baseline():
     """The simulator is deterministic: re-measuring a baseline chaos cell
-    reproduces the committed virtual times exactly."""
+    (and a prefetch-sweep column) reproduces the committed virtual times
+    exactly."""
     baseline = flatten_chaos(json.loads(CHAOS.read_text()))
+    baseline.update(flatten_prefetch(json.loads(PREFETCH.read_text())))
     current = measure_current(
         workloads=("array_sum",),
         systems=("fastswap",),
@@ -252,7 +284,9 @@ def test_measured_chaos_cell_matches_committed_baseline():
         intensities=("medium",),
         throughput=False,
         single_points=False,
+        prefetch_workloads=("array_sum",),
     )
+    assert any(k.startswith("prefetch.") for k in current)
     for key, value in current.items():
         assert key in baseline, key
         assert value == pytest.approx(baseline[key], rel=1e-12)
