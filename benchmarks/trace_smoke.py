@@ -1,0 +1,87 @@
+"""Trace-replay benchmark CLI.
+
+Runs the scenario x system sweep in :mod:`repro.bench.tracebench` (the
+pinned synthetic-trace corpus replayed through every memory system at
+equal local-memory ratio), prints the virtual-time matrix with
+per-scenario winners, and writes ``BENCH_trace.json`` at the repo root.
+Every number is virtual time under seeded generators, so the emitted
+report is bit-deterministic and regression-gated by
+``repro.obs.regress`` (``trace.*`` metrics).
+
+Run with::
+
+    PYTHONPATH=src:. python benchmarks/trace_smoke.py [--scenarios ...]
+
+This file is deliberately not named ``test_*``: it is a benchmark script,
+not part of the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import platform
+import time
+
+from repro.bench.tracebench import RATIO, SYSTEMS, measure_all
+from repro.workloads.trace import SCENARIOS
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scenarios", nargs="*", default=sorted(SCENARIOS))
+    ap.add_argument("--systems", nargs="*", default=list(SYSTEMS))
+    ap.add_argument("--ratio", type=float, default=RATIO)
+    ap.add_argument(
+        "--out", type=pathlib.Path, default=OUT_PATH,
+        help="output JSON path (default: BENCH_trace.json at the repo root)",
+    )
+    args = ap.parse_args()
+
+    t0 = time.perf_counter()
+    sweep = measure_all(
+        scenarios=args.scenarios, systems=args.systems, ratio=args.ratio
+    )
+    wall_s = round(time.perf_counter() - t0, 3)
+
+    report: dict = {
+        "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "wall_s": wall_s,
+        **sweep,
+    }
+
+    width = max(len(s) for s in args.scenarios) + 2
+    header = "scenario".ljust(width) + "".join(s.rjust(14) for s in args.systems)
+    print(header)
+    print("-" * len(header))
+    by_cell = {(c["scenario"], c["system"]): c for c in sweep["cells"]}
+    for sc in args.scenarios:
+        row = sc.ljust(width)
+        for sy in args.systems:
+            row += f"{by_cell[(sc, sy)]['elapsed_ns']:>14,.0f}"
+        print(row + f"   winner: {sweep['winners'][sc]}")
+    print("\nelapsed_ns per cell (lower is better); miss rates:")
+    for sc in args.scenarios:
+        rates = "  ".join(
+            f"{sy}={by_cell[(sc, sy)]['miss_rate']:.3f}" for sy in args.systems
+        )
+        print(f"  {sc:<{width}} {rates}")
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,14 @@ The produced file feeds straight into the analysis CLI::
 Systems: any baseline in ``BASELINE_SYSTEMS`` (fastswap, leap, aifm,
 native) or ``mira`` (full controller, traced end to end).  The digest is
 printed so runs can be compared for behavioral identity at a glance.
+
+By default the tracer records the ``mem.*`` op log (``access_log=True``)
+and the header carries the system geometry, so the emitted file is a
+self-contained replayable scenario::
+
+    PYTHONPATH=src python -m repro.workloads.trace --replay trace.jsonl
+
+An existing output file is never overwritten unless ``--force`` is given.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from repro.core import MiraController, run_on_baseline, run_plan
 from repro.memsim.cost_model import CostModel
 from repro.obs import Tracer
 from repro.workloads import WORKLOAD_FACTORIES, make_workload
+from repro.workloads.trace import REPLAY_SCHEMA
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -49,19 +58,47 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument(
         "--iterations", type=int, default=1, help="mira controller iterations"
     )
+    ap.add_argument(
+        "--force", action="store_true",
+        help="overwrite --out if it already exists",
+    )
+    ap.add_argument(
+        "--no-access-log", dest="access_log", action="store_false",
+        help="omit the mem.* op log (smaller file, not self-replayable)",
+    )
     args = ap.parse_args(argv)
+
+    out = pathlib.Path(args.out)
+    if out.exists() and not args.force:
+        print(
+            f"error: {out} already exists; pass --force to overwrite",
+            file=sys.stderr,
+        )
+        return 2
 
     cost = CostModel()
     workload = make_workload(args.workload)
     memo = ModuleMemo(workload)
-    local = max(4096, int(memo.footprint_bytes * args.ratio))
+    if args.system == "native":
+        # native runs unconstrained; record the size it actually gets so
+        # a replay rebuilds the identical system
+        local = 2 * memo.footprint_bytes + (1 << 20)
+    else:
+        local = max(4096, int(memo.footprint_bytes * args.ratio))
     tracer = Tracer(
-        meta={"workload": args.workload, "system": args.system, "ratio": args.ratio}
+        access_log=args.access_log,
+        meta={
+            "workload": args.workload,
+            "system": args.system,
+            "ratio": args.ratio,
+            "local_mem_bytes": local,
+            "trace_schema": REPLAY_SCHEMA,
+        },
     )
     if args.system == "native":
         result = run_on_baseline(
             memo.module,
-            NativeMemory(cost, 2 * memo.footprint_bytes + (1 << 20)),
+            NativeMemory(cost, local),
             workload.data_init,
             entry=workload.entry,
             tracer=tracer,
@@ -94,7 +131,8 @@ def main(argv: list[str] | None = None) -> int:
             tracer=tracer,
         )
     workload.verify_results(result.results)
-    tracer.write_jsonl(args.out)
+    tracer.meta["elapsed_ns"] = result.elapsed_ns
+    tracer.write_jsonl(out)
     print(
         f"{args.workload} on {args.system}@{args.ratio}: "
         f"{len(tracer)} events, {result.elapsed_ns:.0f} virtual ns"

@@ -71,6 +71,7 @@ class FastSwap(MemorySystem):
     def set_tracer(self, tracer) -> None:
         self.tracer = tracer
         self.network.tracer = tracer
+        self._bind_access_log(tracer)
         self.swap.set_tracer(tracer)
 
     def access(
@@ -81,6 +82,9 @@ class FastSwap(MemorySystem):
         is_write: bool,
         native: bool = False,
     ) -> None:
+        rec = self._rec_access
+        if rec is not None:
+            rec(self.clock.now, obj=obj_id, off=offset, size=size, w=is_write)
         entry = self._obj_cache.get(obj_id)
         if entry is None:
             obj = self.address_space.get(obj_id)

@@ -24,17 +24,24 @@ class NativeMemory(MemorySystem):
         is_write: bool,
         native: bool = False,
     ) -> None:
+        rec = self._rec_access
+        if rec is not None:
+            rec(self.clock.now, obj=obj_id, off=offset, size=size, w=is_write)
         # data is local: the interpreter's DRAM charge covers it
         return None
 
     # -- bulk path (codegen engine): access() is a no-op, so a strided
     # batch is exactly the interpreter-side charges, aggregated.  Exact
     # because the constants are integer-valued floats (n * c == c added
-    # n times); non-integer cost models fall back to per-element.
+    # n times); non-integer cost models fall back to per-element.  With
+    # the op log on, the per-element path must run so every access is
+    # recorded (same rule as the swap/section bulk paths).
 
     def _bulk(self, count: int, dram_ns: float, cpu_ns: float) -> bool:
         if count <= 0:
             return True
+        if self._rec_access is not None:
+            return False
         if not (float(dram_ns).is_integer() and float(cpu_ns).is_integer()):
             return False
         self.clock.advance(count * dram_ns, "dram")

@@ -1,0 +1,89 @@
+"""Trace-replay benchmark: scenario x system sweep under the virtual clock.
+
+Each cell replays one pinned scenario from the trace frontend's corpus
+(:data:`repro.workloads.trace.SCENARIOS`) through one memory system at a
+fixed local-memory ratio and reports virtual time, miss behavior, and
+the clock's category breakdown.  Everything is virtual-time
+deterministic -- the generators are seeded, the systems are the
+production simulators -- so the numbers are bit-stable across hosts and
+can be regression-gated (``repro.obs.regress``, ``trace.*`` metrics).
+
+``benchmarks/trace_smoke.py`` is the CLI wrapper that writes
+``BENCH_trace.json``.
+"""
+
+from __future__ import annotations
+
+from repro.memsim.cost_model import CostModel
+from repro.workloads.trace.generators import SCENARIOS
+from repro.workloads.trace.replay import TRACE_SYSTEMS, run_scenario
+
+#: systems swept: the page-swap baselines, the object runtime, and the
+#: three Mira cache-section geometries
+SYSTEMS = TRACE_SYSTEMS
+
+#: local memory as a fraction of the scenario footprint (equal across
+#: every system -- the comparison requires it)
+RATIO = 0.5
+
+
+def measure_cell(
+    scenario: str, system: str, ratio: float = RATIO, cost: CostModel | None = None
+) -> dict:
+    """Replay one (scenario, system) cell; returns the benchmark record."""
+    res = run_scenario(scenario, system, ratio, cost=cost)
+    sections = {
+        name: {
+            "accesses": s.get("accesses", 0),
+            "hits": s.get("hits", 0),
+            "misses": s.get("misses", 0),
+            "evictions": s.get("evictions", 0),
+        }
+        for name, s in res.sections.items()
+    }
+    return {
+        "scenario": scenario,
+        "system": system,
+        "ratio": ratio,
+        "num_ops": res.num_ops,
+        "footprint_bytes": res.footprint_bytes,
+        "local_mem_bytes": res.local_mem_bytes,
+        "elapsed_ns": res.elapsed_ns,
+        "miss_rate": res.miss_rate,
+        "sections": sections,
+        "breakdown": res.breakdown,
+    }
+
+
+def measure_all(
+    scenarios=None, systems=SYSTEMS, ratio: float = RATIO,
+    cost: CostModel | None = None,
+) -> dict:
+    """The full sweep plus per-scenario winners (lowest virtual time)."""
+    names = list(scenarios or SCENARIOS)
+    cells = [measure_cell(sc, sy, ratio, cost) for sc in names for sy in systems]
+    winners: dict[str, str] = {}
+    for sc in names:
+        best = min(
+            (c for c in cells if c["scenario"] == sc),
+            key=lambda c: (c["elapsed_ns"], c["system"]),
+        )
+        winners[sc] = best["system"]
+    return {
+        "config": {
+            "scenarios": {
+                name: {
+                    "kind": SCENARIOS[name].kind,
+                    "seed": SCENARIOS[name].seed,
+                    "params": SCENARIOS[name].params,
+                    "digest": SCENARIOS[name].digest(),
+                }
+                for name in names
+                if name in SCENARIOS
+            },
+            "systems": list(systems),
+            "ratio": ratio,
+        },
+        "cells": cells,
+        "winners": winners,
+    }

@@ -80,3 +80,43 @@ class SectionConfig:
         if self.metadata_free:
             return 0
         return self.num_lines * self.metadata_per_line
+
+    # -- trace round-trip (repro.workloads.trace self-replay) ---------------
+
+    def to_fields(self) -> dict:
+        """JSON-serializable form carried in ``mem.open`` trace events.
+
+        Covers every field the cache layer executes; ``notes`` is
+        planner-side provenance (``per_thread`` travels separately in the
+        event) and is intentionally dropped.
+        """
+        return {
+            "name": self.name,
+            "size": self.size_bytes,
+            "line": self.line_size,
+            "structure": self.structure.value,
+            "ways": self.ways,
+            "one_sided": self.one_sided,
+            "fetch": self.fetch_bytes,
+            "md_free": self.metadata_free,
+            "md_line": self.metadata_per_line,
+            "wnf": self.write_no_fetch,
+            "shared": self.shared,
+        }
+
+    @classmethod
+    def from_fields(cls, fields: dict) -> "SectionConfig":
+        """Inverse of :meth:`to_fields` (replay reconstructs sections)."""
+        return cls(
+            name=fields["name"],
+            size_bytes=fields["size"],
+            line_size=fields["line"],
+            structure=Structure(fields["structure"]),
+            ways=fields["ways"],
+            one_sided=fields["one_sided"],
+            fetch_bytes=fields["fetch"],
+            metadata_free=fields["md_free"],
+            metadata_per_line=fields["md_line"],
+            write_no_fetch=fields["wnf"],
+            shared=fields["shared"],
+        )

@@ -80,6 +80,7 @@ class CacheManager(MemorySystem):
     def set_tracer(self, tracer) -> None:
         self.tracer = tracer
         self.network.tracer = tracer
+        self._bind_access_log(tracer)
         self.swap.set_tracer(tracer)
         for sec in self._sections.values():
             sec.set_tracer(tracer)
@@ -163,6 +164,16 @@ class CacheManager(MemorySystem):
         with 1/T of the budget (read-only multi-threading, section 4.6);
         accesses route to the clone of the interpreter's current thread.
         """
+        alog = self._alog
+        if alog is not None:
+            alog.emit(
+                "mem.open",
+                self.clock.now,
+                sec=config.name,
+                cfg=config.to_fields(),
+                ids=list(obj_ids),
+                pt=per_thread,
+            )
         if per_thread > 1:
             from dataclasses import replace as _replace
 
@@ -220,6 +231,9 @@ class CacheManager(MemorySystem):
         ``name`` may be a base name covering per-thread clones; all clones
         are closed together.
         """
+        alog = self._alog
+        if alog is not None:
+            alog.emit("mem.close", self.clock.now, sec=name)
         self._resolved.clear()
         names = self._resolve_group(name)
         if not names:
@@ -320,6 +334,16 @@ class CacheManager(MemorySystem):
         is_write: bool,
         native: bool = False,
     ) -> None:
+        rec = self._rec_access
+        if rec is not None:
+            rec(
+                self.clock.now,
+                obj=obj_id,
+                off=offset,
+                size=size,
+                w=is_write,
+                **({"nat": True} if native else {}),
+            )
         if self._degrade_pending:
             self._apply_degradation()
         entry = self._resolved.get((obj_id, self.current_thread))
@@ -511,7 +535,7 @@ class CacheManager(MemorySystem):
             j = last + 1
         return True
 
-    def prefetch(self, obj_id: int, offset: int, size: int) -> None:
+    def _prefetch(self, obj_id: int, offset: int, size: int) -> None:
         entry = self._resolved.get((obj_id, self.current_thread))
         if entry is None:
             entry = self._resolve(obj_id)
@@ -532,7 +556,7 @@ class CacheManager(MemorySystem):
             last = first + window - 1
         section.prefetch_range(obj_id, first, last)
 
-    def flush(self, obj_id: int, offset: int, size: int) -> None:
+    def _flush(self, obj_id: int, offset: int, size: int) -> None:
         obj = self.address_space.get(obj_id)
         section = self.section_of(obj_id)
         if section is None:
@@ -541,7 +565,7 @@ class CacheManager(MemorySystem):
         for key in section.line_keys(obj_id, offset, size):
             section.flush_line(key)
 
-    def evict_hint(self, obj_id: int, offset: int, size: int) -> None:
+    def _evict_hint(self, obj_id: int, offset: int, size: int) -> None:
         obj = self.address_space.get(obj_id)
         section = self.section_of(obj_id)
         if section is None:
@@ -550,7 +574,7 @@ class CacheManager(MemorySystem):
         for key in section.line_keys(obj_id, offset, size):
             section.evict_hint_line(key)
 
-    def evict_hint_trailing(self, obj_id: int, offset: int) -> None:
+    def _evict_hint_trailing(self, obj_id: int, offset: int) -> None:
         """Streaming hint: the line before ``offset`` will not be touched
         again; mark it evictable."""
         entry = self._resolved.get((obj_id, self.current_thread))
@@ -572,7 +596,7 @@ class CacheManager(MemorySystem):
             section.flush_line(key)
             section.evict_hint_line(key)
 
-    def discard(self, obj_id: int) -> None:
+    def _discard(self, obj_id: int) -> None:
         obj = self.address_space.get(obj_id)
         section = self.section_of(obj_id)
         if section is None:
@@ -581,7 +605,7 @@ class CacheManager(MemorySystem):
         for key in section.line_keys(obj_id, 0, obj.size):
             section.drop_clean(key)
 
-    def prefetch_batch(self, items: list[tuple[int, int, int]]) -> None:
+    def _prefetch_batch(self, items: list[tuple[int, int, int]]) -> None:
         """Combine several prefetch ranges into one scatter-gather network
         message: one RTT, summed wire time (section 4.5, batching)."""
         missing: list[tuple[CacheSection, tuple[int, int]]] = []
@@ -590,7 +614,7 @@ class CacheManager(MemorySystem):
             section = self.section_of(obj_id)
             if section is None:
                 # swap pages cannot join a scatter-gather rmem message
-                self.prefetch(obj_id, offset, size)
+                self._prefetch(obj_id, offset, size)
                 continue
             keys = section.line_keys(obj_id, offset, size)
             for key in section.missing_keys(keys):
@@ -611,7 +635,7 @@ class CacheManager(MemorySystem):
         for section, key in missing:
             section.install_prefetched(key, ready)
 
-    def set_native(self, obj_id: int, native: bool) -> None:
+    def _set_native(self, obj_id: int, native: bool) -> None:
         self._resolved.clear()
         if native:
             self._native_objs.add(obj_id)

@@ -37,5 +37,20 @@ class SolverError(MiraError):
     """The section-size ILP had no feasible solution."""
 
 
+class TraceError(MiraError):
+    """Trace frontend misuse (repro.workloads.trace)."""
+
+
+class TraceFormatError(TraceError):
+    """A raw trace file (CSV/JSONL) could not be parsed."""
+
+
+class ReplayDivergence(TraceError):
+    """A replayed trace drifted from the recorded run: the replay clock
+    overtook a recorded entry time, an object id came back different, or
+    the trace contains events replay cannot reproduce (thread forks,
+    injected faults, degradation)."""
+
+
 class OffloadError(MiraError):
     """A function could not be offloaded (shared writable data, ...)."""

@@ -10,6 +10,7 @@ observes the *same* access stream.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.errors import MemoryError_
@@ -57,6 +58,10 @@ class AddressSpace:
         self._next_id = 1
         self._next_va = base
         self._objects: dict[int, ObjectInfo] = {}
+        #: parallel arrays for VA -> object lookup (``_next_va`` only
+        #: grows, so appends keep ``_va_bases`` sorted and bisect works)
+        self._va_bases: list[int] = []
+        self._va_objs: list[ObjectInfo] = []
 
     def allocate(
         self,
@@ -81,6 +86,8 @@ class AddressSpace:
             attrs=attrs or {},
         )
         self._objects[obj.obj_id] = obj
+        self._va_bases.append(obj.base_va)
+        self._va_objs.append(obj)
         self._next_id += 1
         # keep objects page-aligned and non-adjacent (guard page) so that a
         # page never spans two objects -- matches how real allocators place
@@ -119,3 +126,46 @@ class AddressSpace:
 
     def page_of(self, va: int) -> int:
         return va // PAGE_SIZE
+
+    # -- VA -> object resolution (raw-trace frontend) ------------------------
+
+    def object_at(self, va: int) -> ObjectInfo:
+        """The live object containing virtual address ``va``.
+
+        Raises :class:`~repro.errors.MemoryError_` (never ``KeyError``)
+        for addresses outside every allocation -- including the guard
+        pages between objects -- and for addresses inside freed objects.
+        """
+        idx = bisect_right(self._va_bases, va) - 1
+        if idx >= 0:
+            obj = self._va_objs[idx]
+            if va < obj.end_va:
+                if obj.freed:
+                    raise MemoryError_(
+                        f"address {va:#x} is inside freed object "
+                        f"{obj.name or obj.obj_id}"
+                    )
+                return obj
+        raise MemoryError_(f"address {va:#x} is not mapped to any object")
+
+    def resolve(self, va: int, size: int) -> tuple[ObjectInfo, int]:
+        """Resolve an access of ``size`` bytes at ``va`` to
+        ``(object, byte offset)``.
+
+        The whole range ``[va, va+size)`` must sit inside one object: a
+        range that runs off the end of its object (into the guard page,
+        or straddling toward the next allocation) is a typed error, as is
+        a zero- or negative-length access.
+        """
+        if size <= 0:
+            raise MemoryError_(
+                f"access size must be positive, got {size} at {va:#x}"
+            )
+        obj = self.object_at(va)
+        if va + size > obj.end_va:
+            raise MemoryError_(
+                f"access [{va:#x}, {va + size:#x}) straddles the end of "
+                f"object {obj.name or obj.obj_id} "
+                f"([{obj.base_va:#x}, {obj.end_va:#x}))"
+            )
+        return obj, va - obj.base_va

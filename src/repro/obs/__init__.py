@@ -29,6 +29,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.trace import (
     KINDS,
+    MEM_OP_KINDS,
     SCHEMA,
     Tracer,
     digest_of_events,
@@ -41,6 +42,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "KINDS",
+    "MEM_OP_KINDS",
     "MetricsRegistry",
     "SCHEMA",
     "Tracer",

@@ -2,8 +2,9 @@
 
 Compares fresh measurements against ``BENCH_chaos.json`` (virtual-time
 chaos cells), ``BENCH_engine.json`` (interpreter throughput plus the
-virtual time of the Fig. 5 single points), and ``BENCH_prefetch.json``
-(prefetch-policy sweep stall/elapsed, when committed):
+virtual time of the Fig. 5 single points), ``BENCH_prefetch.json``
+(prefetch-policy sweep stall/elapsed, when committed), and
+``BENCH_trace.json`` (trace-replay scenario sweep, when committed):
 
 * **virtual-time metrics are hard-gated**: the simulator is
   deterministic, so ``healthy_ns``/``faulty_ns``/``virtual_ns`` must
@@ -47,6 +48,12 @@ DEFAULT_INTENSITIES = ("medium",)
 #: prefetch cells re-measured live by default: the two workloads where the
 #: policy ranking is most load-bearing (sequential + oblivious headliner)
 DEFAULT_PREFETCH_WORKLOADS = ("array_sum", "dataframe")
+#: trace scenarios re-measured live by default: one skew-dominated and one
+#: structure-dominated access pattern (the ends of the corpus spectrum)
+DEFAULT_TRACE_SCENARIOS = ("zipf_hot", "chase_small")
+#: trace systems re-measured live by default: a page-swap baseline, its
+#: prefetching variant, and the strongest Mira cache geometry
+DEFAULT_TRACE_SYSTEMS = ("fastswap", "leap", "mira-set")
 
 
 @dataclass
@@ -115,12 +122,30 @@ def flatten_prefetch(doc: dict) -> dict[str, float]:
     return out
 
 
-def load_baselines(engine_path, chaos_path, prefetch_path=None) -> dict[str, float]:
+def flatten_trace(doc: dict) -> dict[str, float]:
+    """``BENCH_trace.json`` cells -> flat {metric: virtual ns}.
+
+    ``elapsed_ns`` is hard-gated: the trace sweep replays seeded
+    generators through deterministic simulators, so any drift is a
+    behavior change, not noise.
+    """
+    out: dict[str, float] = {}
+    for cell in doc.get("cells", []):
+        key = f"trace.{cell['scenario']}.{cell['system']}"
+        out[key + ".elapsed_ns"] = float(cell["elapsed_ns"])
+    return out
+
+
+def load_baselines(
+    engine_path, chaos_path, prefetch_path=None, trace_path=None
+) -> dict[str, float]:
     metrics: dict[str, float] = {}
     metrics.update(flatten_engine(load_json(engine_path)))
     metrics.update(flatten_chaos(load_json(chaos_path)))
     if prefetch_path is not None:
         metrics.update(flatten_prefetch(load_json(prefetch_path)))
+    if trace_path is not None:
+        metrics.update(flatten_trace(load_json(trace_path)))
     return metrics
 
 
@@ -211,6 +236,23 @@ def _measure_prefetch(workloads=DEFAULT_PREFETCH_WORKLOADS) -> dict[str, float]:
     return metrics
 
 
+def _measure_trace(
+    scenarios=DEFAULT_TRACE_SCENARIOS, systems=DEFAULT_TRACE_SYSTEMS
+) -> dict[str, float]:
+    """Deterministic virtual time of the trace-replay sweep on a subset
+    of scenarios (same cells ``benchmarks/trace_smoke.py`` stores in
+    ``BENCH_trace.json``)."""
+    from repro.bench.tracebench import measure_cell
+
+    metrics: dict[str, float] = {}
+    for scenario in scenarios:
+        for system in systems:
+            cell = measure_cell(scenario, system)
+            key = f"trace.{scenario}.{system}"
+            metrics[key + ".elapsed_ns"] = float(cell["elapsed_ns"])
+    return metrics
+
+
 def measure_current(
     workloads=DEFAULT_WORKLOADS,
     systems=DEFAULT_SYSTEMS,
@@ -220,6 +262,9 @@ def measure_current(
     single_points: bool = True,
     prefetch: bool = True,
     prefetch_workloads=DEFAULT_PREFETCH_WORKLOADS,
+    trace: bool = True,
+    trace_scenarios=DEFAULT_TRACE_SCENARIOS,
+    trace_systems=DEFAULT_TRACE_SYSTEMS,
 ) -> dict[str, float]:
     """Re-measure a subset of the baseline metrics, live.
 
@@ -247,6 +292,8 @@ def measure_current(
         metrics.update(_measure_throughput())
     if prefetch:
         metrics.update(_measure_prefetch(prefetch_workloads))
+    if trace:
+        metrics.update(_measure_trace(trace_scenarios, trace_systems))
     return metrics
 
 
@@ -342,6 +389,21 @@ def main(argv: list[str] | None = None) -> int:
         default=list(DEFAULT_PREFETCH_WORKLOADS),
         help="workloads to re-measure in the prefetch sweep",
     )
+    ap.add_argument("--trace", default=None, help="BENCH_trace.json path")
+    ap.add_argument("--no-trace", action="store_true",
+                    help="skip the trace-replay sweep metrics")
+    ap.add_argument(
+        "--trace-scenarios",
+        nargs="+",
+        default=list(DEFAULT_TRACE_SCENARIOS),
+        help="scenarios to re-measure in the trace-replay sweep",
+    )
+    ap.add_argument(
+        "--trace-systems",
+        nargs="+",
+        default=list(DEFAULT_TRACE_SYSTEMS),
+        help="systems to re-measure in the trace-replay sweep",
+    )
     args = ap.parse_args(argv)
 
     engine_path = args.engine or _repo_default("BENCH_engine.json")
@@ -349,8 +411,11 @@ def main(argv: list[str] | None = None) -> int:
     prefetch_path = args.prefetch or _repo_default("BENCH_prefetch.json")
     if args.no_prefetch or not pathlib.Path(prefetch_path).exists():
         prefetch_path = None
+    trace_path = args.trace or _repo_default("BENCH_trace.json")
+    if args.no_trace or not pathlib.Path(trace_path).exists():
+        trace_path = None
     try:
-        baseline = load_baselines(engine_path, chaos_path, prefetch_path)
+        baseline = load_baselines(engine_path, chaos_path, prefetch_path, trace_path)
     except (OSError, ValueError, KeyError) as e:
         print(f"regress: cannot load baselines: {e}")
         return 2
@@ -376,6 +441,9 @@ def main(argv: list[str] | None = None) -> int:
             single_points=not args.no_points,
             prefetch=not args.no_prefetch and prefetch_path is not None,
             prefetch_workloads=args.prefetch_workloads,
+            trace=not args.no_trace and trace_path is not None,
+            trace_scenarios=args.trace_scenarios,
+            trace_systems=args.trace_systems,
         )
     if args.save_current:
         with open(args.save_current, "w", encoding="utf-8") as f:

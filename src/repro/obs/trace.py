@@ -91,8 +91,30 @@ KINDS = frozenset(
         # stays silent so pre-PR-7 golden digests hold.
         "prefetch.plan",
         "prefetch.feedback",
+        # memory-system op log (repro.workloads.trace): the *entry* of
+        # every public MemorySystem call, with its arguments and entry
+        # virtual time.  Emitted only by tracers constructed with
+        # ``access_log=True`` -- default tracers never record these, so
+        # pre-PR-8 golden digests hold.  A trace containing them is a
+        # self-replayable scenario: wait_until(entry time) + re-issuing
+        # the call reproduces the run exactly (see DESIGN.md section 4h).
+        "mem.access",
+        "mem.alloc",
+        "mem.free",
+        "mem.open",
+        "mem.close",
+        "mem.prefetch",
+        "mem.batch",
+        "mem.flush",
+        "mem.evict",
+        "mem.evict_trail",
+        "mem.discard",
+        "mem.native",
     }
 )
+
+#: the op-log kinds, as a set (the self-replayer dispatches on these)
+MEM_OP_KINDS = frozenset(k for k in KINDS if k.startswith("mem."))
 
 #: field names the canonical JSONL encoding claims for index/kind/time;
 #: a colliding event field would silently overwrite them on export
@@ -108,13 +130,17 @@ class Tracer:
     pass ``tracer=`` to ``run_plan`` / ``run_on_baseline``.
     """
 
-    __slots__ = ("events", "meta")
+    __slots__ = ("events", "meta", "access_log")
 
-    def __init__(self, meta: dict | None = None) -> None:
+    def __init__(self, meta: dict | None = None, access_log: bool = False) -> None:
         #: raw event tuples, append-only, in emission order
         self.events: list[tuple[str, float, dict]] = []
         #: free-form run metadata for the JSONL header (never digested)
         self.meta: dict = dict(meta or {})
+        #: when True, memory systems additionally record the ``mem.*``
+        #: op log (every public call's entry time + arguments), making
+        #: the trace self-replayable via ``repro.workloads.trace``
+        self.access_log: bool = access_log
 
     # -- emission (the only hot-ish method) --------------------------------
 
@@ -166,8 +192,9 @@ class Tracer:
             )
 
     def header(self) -> str:
+        extra = {"access_log": True} if self.access_log else {}
         return json.dumps(
-            {"schema": SCHEMA, "events": len(self.events), **self.meta},
+            {"schema": SCHEMA, "events": len(self.events), **extra, **self.meta},
             sort_keys=True,
             separators=(",", ":"),
         )

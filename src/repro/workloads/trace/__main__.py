@@ -1,0 +1,122 @@
+"""CLI for the trace frontend.
+
+Examples::
+
+    # list the pinned scenario corpus with footprints and digests
+    PYTHONPATH=src python -m repro.workloads.trace --list
+
+    # replay a built-in scenario on one system
+    PYTHONPATH=src python -m repro.workloads.trace \\
+        --scenario zipf_hot --system mira-set --ratio 0.5
+
+    # export a scenario's op stream to a raw CSV/JSONL trace
+    PYTHONPATH=src python -m repro.workloads.trace \\
+        --scenario seq_scan --export scan.csv
+
+    # import somebody else's addr,is_write[,tid] trace and run it
+    PYTHONPATH=src python -m repro.workloads.trace \\
+        --import-trace scan.csv --system fastswap
+
+    # bit-exact self-replay of a recorded run (scripts/make_trace.py)
+    PYTHONPATH=src python -m repro.workloads.trace --replay trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import TraceError
+from repro.workloads.trace.generators import SCENARIOS
+from repro.workloads.trace.raw import ops_digest, read_raw, write_raw
+from repro.workloads.trace.replay import (
+    TRACE_SYSTEMS,
+    run_imported,
+    run_scenario,
+)
+from repro.workloads.trace.selfreplay import replay_trace_file
+
+
+def _print_result(res) -> None:
+    print(
+        f"{res.scenario} on {res.system}: {res.num_ops} ops, "
+        f"{res.elapsed_ns:.0f} virtual ns, miss rate {res.miss_rate:.4f} "
+        f"(footprint {res.footprint_bytes} B, local {res.local_mem_bytes} B)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.workloads.trace", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--list", action="store_true", help="list the pinned scenario corpus"
+    )
+    mode.add_argument(
+        "--scenario", choices=sorted(SCENARIOS), help="run a built-in scenario"
+    )
+    mode.add_argument(
+        "--import-trace", metavar="PATH", help="replay a raw CSV/JSONL trace"
+    )
+    mode.add_argument(
+        "--replay", metavar="PATH",
+        help="bit-exact self-replay of a recorded access_log trace",
+    )
+    ap.add_argument(
+        "--system", default="fastswap", choices=sorted(TRACE_SYSTEMS + ("native",))
+    )
+    ap.add_argument(
+        "--ratio", type=float, default=0.5,
+        help="local memory as a fraction of the trace footprint",
+    )
+    ap.add_argument(
+        "--export", metavar="PATH",
+        help="with --scenario: write the op stream to a raw trace file",
+    )
+    ap.add_argument(
+        "--force", action="store_true",
+        help="allow --export to overwrite an existing file",
+    )
+    args = ap.parse_args(argv)
+
+    try:
+        if args.list:
+            for name in sorted(SCENARIOS):
+                spec = SCENARIOS[name]
+                print(
+                    f"{name:14s} {spec.kind:14s} "
+                    f"footprint {spec.footprint_bytes:>9d} B  "
+                    f"digest {spec.digest()[:16]}"
+                )
+            return 0
+        if args.scenario:
+            spec = SCENARIOS[args.scenario]
+            if args.export:
+                n = write_raw(args.export, spec.ops(), force=args.force)
+                print(f"wrote {n} ops to {args.export} (digest {spec.digest()})")
+                return 0
+            _print_result(run_scenario(spec, args.system, args.ratio))
+            return 0
+        if args.import_trace:
+            ops = list(read_raw(args.import_trace))
+            res = run_imported(
+                ops, name=args.import_trace, system=args.system, ratio=args.ratio
+            )
+            _print_result(res)
+            print(f"trace digest {ops_digest(ops)}")
+            return 0
+        result = replay_trace_file(args.replay)
+        print(
+            f"replayed {args.replay}: {result.num_ops} ops, "
+            f"{result.elapsed_ns:.0f} virtual ns, bit-exact"
+        )
+        return 0
+    except (TraceError, FileNotFoundError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

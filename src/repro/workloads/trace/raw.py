@@ -1,0 +1,209 @@
+"""Raw address-trace files: ``addr,is_write[,tid]`` in CSV or JSONL.
+
+The on-disk trace is the interchange point with real systems: anything
+that can dump its memory accesses as one line per access can be replayed
+through every simulated memory system here.  Two encodings share one
+schema tag:
+
+* **CSV** -- ``addr,is_write[,tid]`` per line; ``addr`` decimal or
+  ``0x``-hex; ``is_write`` ``0/1/true/false`` (case-insensitive).  An
+  optional first line ``# repro.trace/v1`` pins the schema, and a header
+  row starting with ``addr`` is skipped, so both our own exports and
+  bare third-party dumps import cleanly.
+* **JSONL** -- a header object ``{"schema": "repro.trace/v1", ...}``
+  followed by ``{"a": addr, "w": 0|1[, "tid": n]}`` per line.
+
+``read_raw`` yields exactly the tuples the file holds (2-tuples, or
+3-tuples where a thread id is present), so ``write_raw(read_raw(p))``
+is the identity on the op stream -- the round-trip property the test
+suite pins.  All malformed input raises
+:class:`~repro.errors.TraceFormatError` naming ``path:line``; an
+existing output file is never overwritten without ``force=True``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterable, Iterator
+
+from repro.errors import TraceError, TraceFormatError
+
+#: schema tag for raw op-stream files (CSV comment / JSONL header)
+RAW_SCHEMA = "repro.trace/v1"
+
+_TRUE = {"1", "true", "t", "w"}
+_FALSE = {"0", "false", "f", "r"}
+
+
+def _parse_write(token: str, where: str) -> bool:
+    low = token.strip().lower()
+    if low in _TRUE:
+        return True
+    if low in _FALSE:
+        return False
+    raise TraceFormatError(f"{where}: bad is_write flag {token!r}")
+
+
+def _parse_addr(token: str, where: str) -> int:
+    try:
+        addr = int(token.strip(), 0)  # base 0: decimal or 0x-hex
+    except ValueError:
+        raise TraceFormatError(f"{where}: bad address {token!r}") from None
+    if addr < 0:
+        raise TraceFormatError(f"{where}: negative address {addr}")
+    return addr
+
+
+def _guess_format(path: str) -> str:
+    if path.endswith((".jsonl", ".ndjson", ".json")):
+        return "jsonl"
+    return "csv"
+
+
+def read_raw(path: str, fmt: str | None = None) -> Iterator[tuple]:
+    """Stream ops from a raw trace file.
+
+    Yields ``(addr, is_write)`` or ``(addr, is_write, tid)`` per line,
+    preserving exactly the arity the file uses.  ``fmt`` is ``"csv"`` or
+    ``"jsonl"``; by default it is inferred from the extension.
+    """
+    fmt = fmt or _guess_format(path)
+    if fmt == "csv":
+        yield from _read_csv(path)
+    elif fmt == "jsonl":
+        yield from _read_jsonl(path)
+    else:
+        raise TraceError(f"unknown raw trace format {fmt!r}")
+
+
+def _read_csv(path: str) -> Iterator[tuple]:
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                tag = line.lstrip("#").strip()
+                if tag.startswith("repro.trace/") and tag != RAW_SCHEMA:
+                    raise TraceFormatError(
+                        f"{path}:{lineno}: unsupported trace schema {tag!r} "
+                        f"(this reader speaks {RAW_SCHEMA})"
+                    )
+                continue
+            fields = [f.strip() for f in line.split(",")]
+            if fields[0].lower() == "addr":
+                continue  # third-party column-header row
+            where = f"{path}:{lineno}"
+            if len(fields) == 2:
+                yield (_parse_addr(fields[0], where), _parse_write(fields[1], where))
+            elif len(fields) == 3:
+                try:
+                    tid = int(fields[2])
+                except ValueError:
+                    raise TraceFormatError(
+                        f"{where}: bad thread id {fields[2]!r}"
+                    ) from None
+                yield (
+                    _parse_addr(fields[0], where),
+                    _parse_write(fields[1], where),
+                    tid,
+                )
+            else:
+                raise TraceFormatError(
+                    f"{where}: expected 2 or 3 comma-separated fields, "
+                    f"got {len(fields)}"
+                )
+
+
+def _read_jsonl(path: str) -> Iterator[tuple]:
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise TraceFormatError(f"{where}: invalid JSON ({e.msg})") from None
+            if not isinstance(rec, dict):
+                raise TraceFormatError(f"{where}: expected a JSON object")
+            if "schema" in rec:
+                if rec["schema"] != RAW_SCHEMA:
+                    raise TraceFormatError(
+                        f"{where}: unsupported trace schema {rec['schema']!r} "
+                        f"(this reader speaks {RAW_SCHEMA})"
+                    )
+                continue
+            try:
+                addr = int(rec["a"])
+                is_write = bool(rec["w"])
+            except (KeyError, TypeError, ValueError):
+                raise TraceFormatError(
+                    f"{where}: op records need integer 'a' and 'w' fields"
+                ) from None
+            if addr < 0:
+                raise TraceFormatError(f"{where}: negative address {addr}")
+            if "tid" in rec:
+                yield (addr, is_write, int(rec["tid"]))
+            else:
+                yield (addr, is_write)
+
+
+def write_raw(
+    path: str,
+    ops: Iterable[tuple],
+    fmt: str | None = None,
+    meta: dict | None = None,
+    force: bool = False,
+) -> int:
+    """Write an op stream to ``path``; returns the number of ops written.
+
+    Refuses to clobber an existing file unless ``force=True`` (traces are
+    experiment inputs; silent overwrites destroy reproducibility).
+    """
+    fmt = fmt or _guess_format(path)
+    if fmt not in ("csv", "jsonl"):
+        raise TraceError(f"unknown raw trace format {fmt!r}")
+    if not force and os.path.exists(path):
+        raise TraceError(
+            f"refusing to overwrite existing trace {path!r} (pass force=True)"
+        )
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        if fmt == "csv":
+            fh.write(f"# {RAW_SCHEMA}\n")
+            if meta:
+                fh.write(f"# {json.dumps(meta, sort_keys=True)}\n")
+            for op in ops:
+                if len(op) == 3:
+                    fh.write(f"{op[0]},{int(op[1])},{op[2]}\n")
+                else:
+                    fh.write(f"{op[0]},{int(op[1])}\n")
+                count += 1
+        else:
+            header = {"schema": RAW_SCHEMA}
+            if meta:
+                header["meta"] = meta
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for op in ops:
+                rec = {"a": op[0], "w": int(op[1])}
+                if len(op) == 3:
+                    rec["tid"] = op[2]
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+                count += 1
+    return count
+
+
+def ops_digest(ops: Iterable[tuple]) -> str:
+    """SHA-256 over canonical ``addr,w[,tid]`` lines -- format-independent,
+    so a CSV file and its JSONL re-export share one digest."""
+    h = hashlib.sha256()
+    for op in ops:
+        if len(op) == 3:
+            h.update(f"{op[0]},{int(op[1])},{op[2]}\n".encode("ascii"))
+        else:
+            h.update(f"{op[0]},{int(op[1])}\n".encode("ascii"))
+    return h.hexdigest()

@@ -87,3 +87,98 @@ def test_allocations_never_overlap(sizes):
     spans = sorted((o.base_va, o.end_va) for o in objs)
     for (_, end1), (start2, _) in zip(spans, spans[1:]):
         assert end1 <= start2
+
+
+# -- VA -> object resolution edge cases (the raw-trace frontend's path) ------
+
+
+def test_object_at_finds_interior_and_boundary_bytes():
+    aspace = AddressSpace()
+    a = aspace.allocate(100)
+    b = aspace.allocate(PAGE_SIZE + 1)
+    assert aspace.object_at(a.base_va) is a
+    assert aspace.object_at(a.base_va + 99) is a
+    assert aspace.object_at(b.end_va - 1) is b
+
+
+def test_object_at_unmapped_is_typed_error():
+    aspace = AddressSpace()
+    obj = aspace.allocate(100)
+    for va in (0, obj.base_va - 1, obj.end_va, obj.end_va + PAGE_SIZE * 99):
+        with pytest.raises(MemoryError_):
+            aspace.object_at(va)
+
+
+def test_object_at_guard_page_between_objects():
+    aspace = AddressSpace()
+    a = aspace.allocate(PAGE_SIZE)
+    b = aspace.allocate(PAGE_SIZE)
+    # every byte strictly between the two allocations is unmapped
+    with pytest.raises(MemoryError_):
+        aspace.object_at(a.end_va)
+    with pytest.raises(MemoryError_):
+        aspace.object_at(b.base_va - 1)
+
+
+def test_object_at_freed_object_is_typed_error():
+    aspace = AddressSpace()
+    obj = aspace.allocate(100)
+    aspace.free(obj.obj_id)
+    with pytest.raises(MemoryError_, match="freed"):
+        aspace.object_at(obj.base_va)
+
+
+def test_object_at_empty_space_never_raises_keyerror():
+    try:
+        AddressSpace().object_at(0x1234)
+    except MemoryError_:
+        pass  # the contract: typed error, not KeyError/IndexError
+
+
+def test_resolve_in_bounds():
+    aspace = AddressSpace()
+    obj = aspace.allocate(64)
+    assert aspace.resolve(obj.base_va, 8) == (obj, 0)
+    assert aspace.resolve(obj.base_va + 56, 8) == (obj, 56)
+
+
+def test_resolve_straddling_end_of_object():
+    aspace = AddressSpace()
+    obj = aspace.allocate(64)
+    with pytest.raises(MemoryError_, match="straddles"):
+        aspace.resolve(obj.base_va + 60, 8)
+    with pytest.raises(MemoryError_, match="straddles"):
+        aspace.resolve(obj.base_va, 65)
+
+
+def test_resolve_page_boundary_straddle():
+    aspace = AddressSpace()
+    obj = aspace.allocate(2 * PAGE_SIZE)
+    # crossing an interior page boundary inside one object is fine...
+    _, off = aspace.resolve(obj.base_va + PAGE_SIZE - 4, 8)
+    assert off == PAGE_SIZE - 4
+    # ...but running past the final page of the object is not, even
+    # though the guard page's addresses "exist"
+    with pytest.raises(MemoryError_, match="straddles"):
+        aspace.resolve(obj.end_va - 4, 8)
+
+
+def test_resolve_zero_and_negative_length():
+    aspace = AddressSpace()
+    obj = aspace.allocate(64)
+    with pytest.raises(MemoryError_, match="positive"):
+        aspace.resolve(obj.base_va, 0)
+    with pytest.raises(MemoryError_, match="positive"):
+        aspace.resolve(obj.base_va, -8)
+
+
+@given(st.integers(min_value=0, max_value=1 << 40))
+def test_resolve_never_raises_untyped(va):
+    aspace = AddressSpace()
+    aspace.allocate(100)
+    aspace.allocate(PAGE_SIZE * 3)
+    try:
+        obj, off = aspace.resolve(va, 8)
+    except MemoryError_:
+        return  # typed rejection is the only acceptable failure mode
+    assert 0 <= off and off + 8 <= obj.size

@@ -15,6 +15,7 @@ from repro.obs.regress import (
     flatten_chaos,
     flatten_engine,
     flatten_prefetch,
+    flatten_trace,
     gate,
     load_baselines,
     measure_current,
@@ -24,6 +25,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 ENGINE = REPO / "BENCH_engine.json"
 CHAOS = REPO / "BENCH_chaos.json"
 PREFETCH = REPO / "BENCH_prefetch.json"
+TRACE = REPO / "BENCH_trace.json"
 
 
 # -- flattening ----------------------------------------------------------------
@@ -95,6 +97,26 @@ def test_flatten_committed_prefetch_baseline():
         metrics["prefetch.dataframe.programmed.stall_ns"]
         < 0.75 * metrics["prefetch.dataframe.leap.stall_ns"]
     )
+
+
+def test_flatten_trace_cells():
+    doc = {
+        "cells": [
+            {"scenario": "s", "system": "y", "elapsed_ns": 7.0,
+             "miss_rate": 0.5},
+        ]
+    }
+    assert flatten_trace(doc) == {"trace.s.y.elapsed_ns": 7.0}
+    assert flatten_trace({}) == {}
+
+
+def test_flatten_committed_trace_baseline():
+    metrics = load_baselines(ENGINE, CHAOS, trace_path=TRACE)
+    cells = [k for k in metrics if k.startswith("trace.")]
+    # the full matrix: >= 8 scenarios x >= 3 systems, every cell gated
+    assert len(cells) >= 24
+    for system in ("fastswap", "leap", "aifm", "mira-set"):
+        assert f"trace.zipf_hot.{system}.elapsed_ns" in metrics
 
 
 # -- comparison semantics ------------------------------------------------------
@@ -273,10 +295,11 @@ def test_measure_throughput_restores_env_on_error(monkeypatch):
 
 def test_measured_chaos_cell_matches_committed_baseline():
     """The simulator is deterministic: re-measuring a baseline chaos cell
-    (and a prefetch-sweep column) reproduces the committed virtual times
-    exactly."""
+    (plus a prefetch-sweep column and a trace-replay cell) reproduces the
+    committed virtual times exactly."""
     baseline = flatten_chaos(json.loads(CHAOS.read_text()))
     baseline.update(flatten_prefetch(json.loads(PREFETCH.read_text())))
+    baseline.update(flatten_trace(json.loads(TRACE.read_text())))
     current = measure_current(
         workloads=("array_sum",),
         systems=("fastswap",),
@@ -285,8 +308,11 @@ def test_measured_chaos_cell_matches_committed_baseline():
         throughput=False,
         single_points=False,
         prefetch_workloads=("array_sum",),
+        trace_scenarios=("zipf_hot",),
+        trace_systems=("fastswap", "mira-set"),
     )
     assert any(k.startswith("prefetch.") for k in current)
+    assert any(k.startswith("trace.") for k in current)
     for key, value in current.items():
         assert key in baseline, key
         assert value == pytest.approx(baseline[key], rel=1e-12)

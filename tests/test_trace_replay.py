@@ -1,0 +1,275 @@
+"""Replay equivalence: recorded runs must reproduce bit-exactly.
+
+The contract (DESIGN.md section 4h): any run traced with
+``Tracer(access_log=True)`` -- raw trace scenarios and full IR workloads
+alike -- replays on a freshly built identical system to the *same*
+virtual time, the *same* event stream, and the *same* per-section
+hit/miss/eviction counters.  The strict-overshoot rule turns any state
+drift into a typed :class:`ReplayDivergence` instead of a near-miss.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.bench.harness import BASELINE_SYSTEMS, ModuleMemo
+from repro.cache.manager import CacheManager
+from repro.core import MiraController, run_on_baseline, run_plan
+from repro.errors import ReplayDivergence, TraceError
+from repro.memsim.cost_model import CostModel
+from repro.obs import Tracer
+from repro.workloads import make_workload
+from repro.workloads.trace import (
+    SCENARIOS,
+    ScenarioSpec,
+    compare_traces,
+    make_system,
+    replay_events,
+    replay_trace_file,
+    run_scenario,
+    split_runs,
+    system_counters,
+)
+
+#: per-workload sizes small enough for tier-1 yet exercising every op
+#: kind the workloads emit (batching, offload RPC, hints, native spans)
+WORKLOAD_PARAMS = {
+    "array_sum": {"n": 8192},
+    "dataframe": {"num_rows": 2048},
+    "graph_traversal": {"num_nodes": 500, "num_edges": 1500},
+    "mcf": {"num_nodes": 256, "num_arcs": 1024},
+    "gpt2": {"layers": 3, "d_model": 64, "seq_len": 32, "batch": 2,
+             "passes": 1, "warmup_passes": 1},
+}
+
+RATIO = 0.5
+
+
+@pytest.fixture(autouse=True)
+def _pin_prefetch_env(monkeypatch):
+    # replay rebuilds systems from scratch; results must not depend on
+    # the ambient prefetch-policy override
+    monkeypatch.delenv("REPRO_PREFETCH", raising=False)
+
+
+def _dicts(tracer: Tracer) -> list[dict]:
+    return [{"k": k, "t": t, **f} for k, t, f in tracer.events]
+
+
+def _check_replay(recorded_events, recorded_res, fresh_system, context):
+    tr2 = Tracer(access_log=True)
+    fresh_system.set_tracer(tr2)
+    replayed = replay_events(
+        fresh_system, recorded_events, elapsed_ns=recorded_res.elapsed_ns
+    )
+    n = compare_traces(recorded_events, tr2.events, context=context)
+    assert n > 0
+    assert replayed.elapsed_ns == recorded_res.elapsed_ns
+    assert replayed.counters == system_counters(recorded_res.memsys)
+    return replayed
+
+
+# -- IR workloads, baseline chassis ------------------------------------------
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOAD_PARAMS))
+def test_ir_workload_replays_bit_exact_on_fastswap(workload):
+    cost = CostModel()
+    wl = make_workload(workload, **WORKLOAD_PARAMS[workload])
+    memo = ModuleMemo(wl)
+    local = max(4096, int(memo.footprint_bytes * RATIO))
+    tracer = Tracer(access_log=True)
+    res = run_on_baseline(
+        memo.module,
+        BASELINE_SYSTEMS["fastswap"](cost, local),
+        wl.data_init,
+        entry=wl.entry,
+        tracer=tracer,
+    )
+    _check_replay(
+        _dicts(tracer),
+        res,
+        BASELINE_SYSTEMS["fastswap"](cost, local),
+        f"{workload}/fastswap",
+    )
+
+
+# -- IR workloads, full Mira plan --------------------------------------------
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOAD_PARAMS))
+def test_ir_workload_replays_bit_exact_on_mira(workload):
+    cost = CostModel()
+    wl = make_workload(workload, **WORKLOAD_PARAMS[workload])
+    memo = ModuleMemo(wl)
+    local = max(4096, int(memo.footprint_bytes * RATIO))
+    controller = MiraController(
+        memo.fresh, cost, local, data_init=wl.data_init, entry=wl.entry,
+        max_iterations=2,
+    )
+    program = controller.optimize()  # untraced; only the final run is pinned
+    tracer = Tracer(access_log=True)
+    res = run_plan(
+        program.module, cost, local, data_init=wl.data_init, entry=wl.entry,
+        tracer=tracer,
+    )
+    # a bare CacheManager: the recorded mem.open events rebuild the plan's
+    # sections during replay
+    _check_replay(_dicts(tracer), res, CacheManager(cost, local), f"{workload}/mira")
+
+
+# -- raw scenarios, every system ---------------------------------------------
+
+_QUICK = ScenarioSpec(
+    "quick_mixed", "mixed",
+    {"phases": [
+        {"kind": "zipf", "num_pages": 32, "num_events": 1200},
+        {"kind": "pointer_chase", "num_pages": 32, "num_events": 800,
+         "offset": 1 << 18},
+    ]},
+    seed=13,
+)
+
+
+@pytest.mark.parametrize(
+    "system", ["fastswap", "leap", "aifm", "mira-direct", "mira-set", "mira-full"]
+)
+def test_raw_scenario_self_replay_across_systems(system):
+    tracer = Tracer(access_log=True)
+    res = run_scenario(_QUICK, system, RATIO, tracer=tracer)
+    fresh = make_system(system, res.local_mem_bytes)
+    tr2 = Tracer(access_log=True)
+    fresh.set_tracer(tr2)
+    replayed = replay_events(fresh, _dicts(tracer), elapsed_ns=res.elapsed_ns)
+    compare_traces(tracer.events, tr2.events, context=f"quick_mixed/{system}")
+    assert replayed.elapsed_ns == res.elapsed_ns
+    assert replayed.counters == res.sections
+
+
+def test_scenario_rerun_is_deterministic():
+    a = run_scenario("zipf_hot", "mira-set", RATIO)
+    b = run_scenario("zipf_hot", "mira-set", RATIO)
+    assert a.elapsed_ns == b.elapsed_ns
+    assert a.sections == b.sections
+
+
+# -- divergence detection ----------------------------------------------------
+
+
+def _small_recorded_run():
+    tracer = Tracer(access_log=True)
+    # 8 pages of skewed traffic at 4 resident: evictions happen, so the
+    # recorded timing is sensitive to the system's geometry
+    spec = ScenarioSpec("tiny", "zipf", {"num_pages": 8, "num_events": 400},
+                        seed=3)
+    res = run_scenario(spec, "fastswap", RATIO, tracer=tracer)
+    return _dicts(tracer), res
+
+
+def test_strict_overshoot_raises():
+    events, res = _small_recorded_run()
+    # pull one op's entry time earlier than its predecessor: the replay
+    # clock will already be past it
+    ops = [e for e in events if e["k"] == "mem.access"]
+    ops[50]["t"] = ops[49]["t"] - 1.0
+    fresh = make_system("fastswap", res.local_mem_bytes)
+    with pytest.raises(ReplayDivergence, match="overshot"):
+        replay_events(fresh, events, elapsed_ns=res.elapsed_ns)
+
+
+def test_end_of_run_overshoot_raises():
+    events, res = _small_recorded_run()
+    fresh = make_system("fastswap", res.local_mem_bytes)
+    with pytest.raises(ReplayDivergence, match="overshot"):
+        replay_events(fresh, events, elapsed_ns=res.elapsed_ns / 2)
+
+
+def test_forbidden_kinds_rejected():
+    events, res = _small_recorded_run()
+    events.insert(3, {"k": "thread.fork", "t": 0.0, "tid": 1})
+    fresh = make_system("fastswap", res.local_mem_bytes)
+    with pytest.raises(ReplayDivergence, match="not replayable"):
+        replay_events(fresh, events, elapsed_ns=res.elapsed_ns)
+
+
+def test_compare_traces_reports_first_difference():
+    events, _ = _small_recorded_run()
+    mutated = [dict(e) for e in events]
+    mutated[10]["t"] = mutated[10]["t"] + 1.0
+    with pytest.raises(ReplayDivergence, match="compared event 10"):
+        compare_traces(events, mutated)
+    with pytest.raises(ReplayDivergence, match="recorded events"):
+        compare_traces(events, events[:-1])
+    assert compare_traces(events, [dict(e) for e in events]) == len(events)
+
+
+def test_wrong_geometry_diverges():
+    events, res = _small_recorded_run()
+    # half the local memory: the replayed system faults where the original
+    # hit, so some access entry lands with the clock already past it
+    fresh = make_system("fastswap", max(4096, res.local_mem_bytes // 2))
+    with pytest.raises(ReplayDivergence):
+        replay_events(fresh, events, elapsed_ns=res.elapsed_ns)
+
+
+# -- multi-run traces --------------------------------------------------------
+
+
+def test_split_runs_on_clock_resets():
+    mk = lambda t: {"k": "mem.access", "t": t}
+    events = [mk(0.0), mk(5.0), mk(9.0), mk(0.0), mk(2.0), mk(1.0)]
+    runs = split_runs(events)
+    assert [len(r) for r in runs] == [3, 2, 1]
+    assert split_runs([]) == []
+    # equal successive times never split (many ops share one entry time)
+    assert len(split_runs([mk(0.0), mk(0.0), mk(3.0)])) == 1
+
+
+# -- file-level round trip (scripts/make_trace.py) ---------------------------
+
+
+def _load_make_trace():
+    path = (
+        pathlib.Path(__file__).resolve().parent.parent / "scripts" / "make_trace.py"
+    )
+    spec = importlib.util.spec_from_file_location("make_trace", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_make_trace_file_replays_bit_exact(tmp_path):
+    mt = _load_make_trace()
+    out = tmp_path / "t.jsonl"
+    rc = mt.main(
+        ["--workload", "array_sum", "--system", "fastswap", "--out", str(out)]
+    )
+    assert rc == 0
+    result = replay_trace_file(str(out))  # raises ReplayDivergence on drift
+    assert result.num_ops > 0 and result.elapsed_ns > 0
+
+
+def test_make_trace_refuses_overwrite(tmp_path):
+    mt = _load_make_trace()
+    out = tmp_path / "t.jsonl"
+    args = ["--workload", "array_sum", "--system", "native", "--out", str(out)]
+    assert mt.main(args) == 0
+    assert mt.main(args) == 2  # exists, no --force
+    assert mt.main(args + ["--force"]) == 0
+
+
+def test_replay_requires_access_log(tmp_path):
+    tracer = Tracer()  # no op log
+    run_scenario(_QUICK, "fastswap", RATIO, tracer=tracer)
+    path = tmp_path / "plain.jsonl"
+    tracer.write_jsonl(path)
+    with pytest.raises(TraceError, match="access_log"):
+        replay_trace_file(str(path))
+
+
+def test_scenario_corpus_is_complete():
+    # the pinned corpus the benchmark and CI golden tests sweep
+    assert len(SCENARIOS) >= 8
+    kinds = {spec.kind for spec in SCENARIOS.values()}
+    assert kinds == {"zipf", "sequential", "pointer_chase", "mixed"}

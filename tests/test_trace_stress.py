@@ -1,0 +1,63 @@
+"""Million-event stress: the trace datapath at scale (slow-marked).
+
+Two properties that only show up at volume:
+
+* **Exact determinism** -- replaying the same seeded million-event
+  stream twice through the same cache geometry lands on the *same*
+  virtual nanosecond and the same counters.  Any hidden iteration-order
+  or floating-accumulation nondeterminism in the cache sections would
+  surface here long before it corrupted a paper figure.
+* **Bounded memory** -- generators are lazy and replay streams, so a
+  million events must not materialize; peak traced allocation stays
+  tens of megabytes, not gigabytes.
+
+Run explicitly with ``pytest -m slow``; kept lean enough for tier-1.
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro.workloads.trace import ScenarioSpec, run_scenario
+
+EVENTS = 1_000_000
+
+STRESS_ZIPF = ScenarioSpec(
+    "stress_zipf", "zipf",
+    {"num_pages": 512, "num_events": EVENTS, "alpha": 1.1}, seed=42,
+)
+STRESS_CHASE = ScenarioSpec(
+    "stress_chase", "pointer_chase",
+    {"num_pages": 256, "num_events": EVENTS}, seed=43,
+)
+
+GEOMETRIES = ("mira-direct", "mira-set", "mira-full")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("geometry", GEOMETRIES)
+@pytest.mark.parametrize("spec", [STRESS_ZIPF, STRESS_CHASE],
+                         ids=lambda s: s.name)
+def test_million_events_deterministic_across_runs(spec, geometry):
+    first = run_scenario(spec, geometry, 0.5)
+    second = run_scenario(spec, geometry, 0.5)
+    assert first.num_ops == EVENTS
+    assert first.elapsed_ns == second.elapsed_ns
+    assert first.sections == second.sections
+    assert first.breakdown == second.breakdown
+    # the runs did real cache work, not a degenerate all-hit/all-miss loop
+    assert 0.0 < first.miss_rate < 1.0
+
+
+@pytest.mark.slow
+def test_million_events_bounded_memory():
+    tracemalloc.start()
+    try:
+        res = run_scenario(STRESS_CHASE, "mira-direct", 0.5)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert res.num_ops == EVENTS
+    # streaming datapath: a million 8-byte accesses must not materialize
+    # (a list of a million (int, bool) tuples alone is ~70 MB)
+    assert peak < 64 * 1024 * 1024, f"peak traced allocation {peak} bytes"
