@@ -1,0 +1,113 @@
+"""Hybrid path-switch benchmark CLI.
+
+Runs both halves of :mod:`repro.bench.hybrid` -- the five compiled IR
+workloads on fastswap/aifm/mira/hybrid, and the trace-frontend scenario
+corpus on fastswap/aifm/mira-set/hybrid -- prints the virtual-time
+matrices with the acceptance summary (hybrid vs the better of
+fastswap/aifm, plus every applied mid-run ``path.switch``), and writes
+``BENCH_hybrid.json`` at the repo root.  Every number is virtual time
+under seeded inputs, so the emitted report is bit-deterministic and
+regression-gated by ``repro.obs.regress`` (``hybrid.*`` metrics).
+
+Run with::
+
+    PYTHONPATH=src:. python benchmarks/hybrid_smoke.py [--workloads ...]
+
+This file is deliberately not named ``test_*``: it is a benchmark script,
+not part of the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import platform
+import time
+
+from repro.bench.hybrid import IR_SYSTEMS, RATIO, TRACE_SYSTEMS, measure_all
+from repro.bench.prefetch import WORKLOADS
+from repro.workloads.trace import SCENARIOS
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_hybrid.json"
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--workloads", nargs="*", default=list(WORKLOADS))
+    ap.add_argument("--scenarios", nargs="*", default=sorted(SCENARIOS))
+    ap.add_argument("--ratio", type=float, default=RATIO)
+    ap.add_argument(
+        "--out", type=pathlib.Path, default=OUT_PATH,
+        help="output JSON path (default: BENCH_hybrid.json at the repo root)",
+    )
+    args = ap.parse_args()
+
+    t0 = time.perf_counter()
+    sweep = measure_all(
+        workloads=args.workloads, scenarios=args.scenarios, ratio=args.ratio
+    )
+    wall_s = round(time.perf_counter() - t0, 3)
+
+    report: dict = {
+        "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "wall_s": wall_s,
+        **sweep,
+    }
+
+    ir_by_cell = {(c["workload"], c["system"]): c for c in sweep["ir_cells"]}
+    width = max(len(w) for w in args.workloads) + 2
+    header = "workload".ljust(width) + "".join(s.rjust(14) for s in IR_SYSTEMS)
+    print(header)
+    print("-" * len(header))
+    for wl in args.workloads:
+        row = wl.ljust(width)
+        for sy in IR_SYSTEMS:
+            cell = ir_by_cell[(wl, sy)]
+            row += (
+                "        failed" if cell.get("failed")
+                else f"{cell['elapsed_ns']:>14,.0f}"
+            )
+        acc = sweep["acceptance"][wl]
+        verdict = "wins" if acc["hybrid_wins"] else "LOSES"
+        print(row + f"   hybrid {verdict} ({acc['switches']} switches)")
+
+    tr_by_cell = {(c["scenario"], c["system"]): c for c in sweep["trace_cells"]}
+    width = max(len(s) for s in args.scenarios) + 2
+    header = "scenario".ljust(width) + "".join(
+        s.rjust(14) for s in TRACE_SYSTEMS
+    )
+    print("\n" + header)
+    print("-" * len(header))
+    for sc in args.scenarios:
+        row = sc.ljust(width)
+        for sy in TRACE_SYSTEMS:
+            row += f"{tr_by_cell[(sc, sy)]['elapsed_ns']:>14,.0f}"
+        n = len(tr_by_cell[(sc, "hybrid")].get("switches", []))
+        print(row + f"   {n} switches")
+
+    if sweep["midrun_switches"]:
+        print("\nmid-run switches (trace corpus):")
+        for entry in sweep["midrun_switches"]:
+            for sw in entry["switches"]:
+                print(
+                    f"  {entry['scenario']:<14} {sw['dir']:<8} at "
+                    f"t={sw['t']:,.0f} ns  (miss={sw['miss']:.3f}, "
+                    f"amp={sw['amp']:.1f})"
+                )
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

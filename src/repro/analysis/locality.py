@@ -90,6 +90,40 @@ def choose_structure(
     )
 
 
+def choose_path(summary: AccessSummary, cost: CostModel) -> str:
+    """Initial data path for a section group under the hybrid system.
+
+    Cost-model-driven: compare the amortized per-access cost of the two
+    paths for the *observed* pattern.  A dense forward stream faults once
+    per ``PAGE_SIZE/stride`` accesses on the swap path and its hits are
+    free (no per-access lookup), while the object path pays the section
+    lookup on every access plus a line fetch per ``line/stride`` -- so
+    small strides favor swap and everything else (indirect, random,
+    reused) starts on the object path the planner configured.  The
+    runtime may still switch the group online if the windowed signals
+    disagree (:mod:`repro.cache.hybrid`).
+    """
+    if summary.pattern not in (AccessPattern.SEQUENTIAL, AccessPattern.STRIDED):
+        return "object"
+    from repro.memsim.address import PAGE_SIZE
+
+    elem = max(1, summary.site.elem_type.byte_size)
+    if summary.pattern is AccessPattern.STRIDED:
+        stride = abs(summary.stride_elems or 1) * elem
+    else:
+        stride = elem
+    if stride <= 0 or stride >= PAGE_SIZE:
+        return "object"
+    # swap: one kernel page fetch per page's worth of accesses, hits free
+    swap_ns = cost.page_fetch_ns(PAGE_SIZE) * stride / PAGE_SIZE
+    # object: per-access lookup plus one line fetch per line's worth
+    line = MAX_EFFICIENT_LINE
+    object_ns = cost.hit_overhead_direct_ns + (
+        cost.one_sided_ns(line) + cost.insert_overhead_ns
+    ) * stride / line
+    return "swap" if swap_ns <= object_ns else "object"
+
+
 def _round_up_pow2(n: int) -> int:
     p = 1
     while p < n:

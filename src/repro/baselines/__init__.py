@@ -6,11 +6,16 @@
 * :class:`Leap` -- kernel swap plus majority-trend prefetching.
 * :class:`AIFM` -- library runtime with remotable pointers, per-object
   metadata, and per-dereference overhead.
+* :class:`HybridManager` -- re-exported from :mod:`repro.cache.hybrid`:
+  the per-section-group swap/object path switcher ("A Tale of Two
+  Paths").  Not a paper baseline, but it competes in the same sweeps
+  (``run_plan(..., hybrid=True)``, trace system ``"hybrid"``).
 """
 
 from repro.baselines.aifm import AIFM
 from repro.baselines.fastswap import FastSwap
 from repro.baselines.leap import Leap
 from repro.baselines.native import NativeMemory
+from repro.cache.hybrid import HybridManager
 
-__all__ = ["NativeMemory", "FastSwap", "Leap", "AIFM"]
+__all__ = ["NativeMemory", "FastSwap", "Leap", "AIFM", "HybridManager"]

@@ -8,6 +8,7 @@ section* backs everything not claimed by a specialized section.
 """
 
 from repro.cache.config import SectionConfig, Structure
+from repro.cache.hybrid import HybridConfig, HybridManager
 from repro.cache.interface import MemorySystem
 from repro.cache.manager import CacheManager
 from repro.cache.section import CacheSection, Line
@@ -20,6 +21,8 @@ __all__ = [
     "MemorySystem",
     "CacheManager",
     "CacheSection",
+    "HybridConfig",
+    "HybridManager",
     "Line",
     "SectionStats",
     "SwapSection",

@@ -66,6 +66,11 @@ class CacheManager(MemorySystem):
         #: all costly per access.  Invalidated whenever sections,
         #: assignments, native promises, or object lifetimes change.
         self._resolved: dict[tuple[int, int], tuple] = {}
+        #: optional per-access callback ``(obj_id, size, hit)`` observed
+        #: after every ``access``; the hybrid manager uses it to window
+        #: miss/amplification signals.  None here, so plain Mira runs pay
+        #: one attribute load + None test per access and nothing else.
+        self._path_hook = None
 
     # -- clock plumbing (thread simulation swaps the active clock) -----------
 
@@ -138,8 +143,11 @@ class CacheManager(MemorySystem):
                 return
         if not self._sections:
             return  # already fully on the swap path; nothing left to shed
-        worst = max(
-            self._sections, key=lambda n: (self._sections[n].stats.misses, n)
+        # victim choice is explicitly tie-broken: highest miss count first,
+        # then lexicographically-first name, so the degradation order is
+        # deterministic (and documented) when two sections score equal
+        worst = min(
+            self._sections, key=lambda n: (-self._sections[n].stats.misses, n)
         )
         base = worst.split("@t")[0]
         for alloc_name in [
@@ -174,6 +182,14 @@ class CacheManager(MemorySystem):
                 ids=list(obj_ids),
                 pt=per_thread,
             )
+        return self._open_section_impl(config, obj_ids, per_thread)
+
+    def _open_section_impl(
+        self, config: SectionConfig, obj_ids: list[int], per_thread: int = 0
+    ) -> CacheSection:
+        """``open_section`` minus the op-log entry: internal reconfiguration
+        (hybrid path switches) opens sections here, so a replayed trace
+        never re-issues them as top-level ops."""
         if per_thread > 1:
             from dataclasses import replace as _replace
 
@@ -234,6 +250,11 @@ class CacheManager(MemorySystem):
         alog = self._alog
         if alog is not None:
             alog.emit("mem.close", self.clock.now, sec=name)
+        self._close_section_impl(name)
+
+    def _close_section_impl(self, name: str) -> None:
+        """``close_section`` minus the op-log entry (see
+        ``_open_section_impl``)."""
         self._resolved.clear()
         names = self._resolve_group(name)
         if not names:
@@ -384,6 +405,9 @@ class CacheManager(MemorySystem):
         self._access_counter += 1
         if not self._access_counter % 256:
             self._track_metadata()
+        hook = self._path_hook
+        if hook is not None:
+            hook(obj_id, sz, hit)
 
     def _drive_policy(self, obj, va: int, size: int, hit: bool) -> None:
         """Feed one swap-path access to the prefetch policy (same contract
@@ -468,6 +492,7 @@ class CacheManager(MemorySystem):
         if (
             self.tracer is not None
             or self.policy is not None
+            or self._path_hook is not None
             or self._degrade_pending
             or self.network.faults is not None
             or stride % 8

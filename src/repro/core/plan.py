@@ -22,12 +22,19 @@ class SectionPlan:
     object_names: list[str]
     #: split into this many per-thread private clones (section 4.6)
     per_thread: int = 0
+    #: initial data path for the hybrid system: "object" runs through the
+    #: planned CacheSection, "swap" leaves the group on the kernel page
+    #: path (dense streams, where a page fault amortizes over the whole
+    #: page).  Plain ``run_plan`` ignores it; ``run_plan(hybrid=True)``
+    #: materializes it and may switch the group online.
+    path: str = "object"
 
     def with_size(self, size_bytes: int) -> "SectionPlan":
         return SectionPlan(
             replace(self.config, size_bytes=size_bytes),
             list(self.object_names),
             self.per_thread,
+            self.path,
         )
 
 
@@ -60,7 +67,9 @@ class MiraPlan:
         """A copy with some optimizations disabled (ablation studies)."""
         return MiraPlan(
             sections=[
-                SectionPlan(sp.config, list(sp.object_names), sp.per_thread)
+                SectionPlan(
+                    sp.config, list(sp.object_names), sp.per_thread, sp.path
+                )
                 for sp in self.sections
             ],
             converted_sites=list(self.converted_sites),

@@ -28,6 +28,7 @@ def run_plan(
     tracer=None,
     faults=None,
     prefetch_policy=None,
+    hybrid: bool = False,
 ) -> RunResult:
     """Run a pipeline-compiled module on the Mira runtime.
 
@@ -37,13 +38,25 @@ def run_plan(
     and far-node faults; None (the default) runs a healthy machine.
     ``prefetch_policy`` (a :class:`repro.prefetch.PrefetchPolicy` or
     name) drives swap-path prefetching; None keeps demand paging.
+    ``hybrid`` materializes the plan on a
+    :class:`repro.cache.hybrid.HybridManager` instead: each section plan
+    becomes a path group starting on the plan's chosen path
+    (``SectionPlan.path``), and the manager may switch groups between the
+    swap and object paths online.
     """
     from repro.memsim.resources import SerialResource
 
     fault_lock = SerialResource("swap-lock") if num_threads > 1 else None
-    manager = CacheManager(
-        cost, local_mem_bytes, fault_lock=fault_lock, policy=prefetch_policy
-    )
+    if hybrid:
+        from repro.cache.hybrid import HybridManager
+
+        manager = HybridManager(
+            cost, local_mem_bytes, fault_lock=fault_lock, policy=prefetch_policy
+        )
+    else:
+        manager = CacheManager(
+            cost, local_mem_bytes, fault_lock=fault_lock, policy=prefetch_policy
+        )
     if tracer is not None:
         # attach before sections open so sec.open events are captured
         manager.set_tracer(tracer)
@@ -60,9 +73,17 @@ def run_plan(
             attach_prefetch_program(plan, compiled, entry)
         manager.policy.prepare(compiled, plan=plan, entry=entry)
     for sp in plan.sections:
-        manager.open_section(sp.config, [], per_thread=sp.per_thread)
-        for name in sp.object_names:
-            manager.pending_assignment[name] = sp.config.name
+        if hybrid:
+            manager.plan_group(
+                sp.config,
+                list(sp.object_names),
+                per_thread=sp.per_thread,
+                path=getattr(sp, "path", "object"),
+            )
+        else:
+            manager.open_section(sp.config, [], per_thread=sp.per_thread)
+            for name in sp.object_names:
+                manager.pending_assignment[name] = sp.config.name
     interp = Interpreter(compiled, manager, data_init)
     return interp.run(entry)
 

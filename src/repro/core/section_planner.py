@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from repro.analysis.access import AccessPattern, AccessSummary, analyze_scope
 from repro.analysis.alias import AliasAnalysis, AllocSite
-from repro.analysis.locality import choose_line_size, choose_structure
+from repro.analysis.locality import choose_line_size, choose_path, choose_structure
 from repro.cache.config import SectionConfig, Structure
 from repro.core.plan import MiraPlan, SectionPlan
 from repro.ir.core import Module
@@ -256,7 +256,7 @@ def _configure(
             structure=Structure.DIRECT,
             notes={"reason": "invariant reuse: pin locally"},
         )
-        sections.append(_mk_plan(cfg, members, num_threads))
+        sections.append(_mk_plan(cfg, members, num_threads, cost))
         used += size
     # streaming sections, two-phase: first the prefetch-pipeline minimum
     # (~2.5 of the stream's range: current + prefetched next + dying
@@ -305,7 +305,7 @@ def _configure(
             structure=Structure.SET_ASSOCIATIVE if coarse else Structure.DIRECT,
             ways=4 if coarse else 8,
         )
-        sections.append(_mk_plan(cfg, members, num_threads))
+        sections.append(_mk_plan(cfg, members, num_threads, cost))
         used += size
     # non-streaming sections: share the remainder in proportion to the
     # object footprints, structure from locality analysis
@@ -336,11 +336,16 @@ def _configure(
             fetch_bytes=fetch,
             notes={"reason": structure.reason},
         )
-        sections.append(_mk_plan(cfg, members, num_threads))
+        sections.append(_mk_plan(cfg, members, num_threads, cost))
     return sections
 
 
-def _mk_plan(cfg: SectionConfig, members: list[SiteChoice], num_threads: int) -> SectionPlan:
+def _mk_plan(
+    cfg: SectionConfig,
+    members: list[SiteChoice],
+    num_threads: int,
+    cost: CostModel | None = None,
+) -> SectionPlan:
     per_thread = 0
     if num_threads > 1:
         if any(m.shared_write for m in members):
@@ -359,7 +364,16 @@ def _mk_plan(cfg: SectionConfig, members: list[SiteChoice], num_threads: int) ->
             # the parallel IV): private per-thread sections
             per_thread = num_threads
             cfg.notes["per_thread"] = num_threads
-    return SectionPlan(cfg, [m.site.name for m in members if m.site.name], per_thread)
+    # initial path for the hybrid system: swap only when *every* member's
+    # analyzed pattern prefers it (a single indirect/reused member makes
+    # the object path the safe default); plain runs ignore the field
+    path = "object"
+    if cost is not None and members:
+        if all(choose_path(m.summary, cost) == "swap" for m in members):
+            path = "swap"
+    return SectionPlan(
+        cfg, [m.site.name for m in members if m.site.name], per_thread, path
+    )
 
 
 def _round_up(n: int, multiple: int) -> int:

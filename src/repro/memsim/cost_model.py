@@ -90,6 +90,13 @@ class CostModel:
     #: cost of one coarse-grained profiling event (counter update)
     profile_event_ns: float = 20.0
 
+    # --- hybrid data plane (repro.cache.hybrid) --------------------------
+    #: one online path switch of a section group (swap <-> object):
+    #: metadata rebuild, page-table/section bookkeeping.  The migration
+    #: traffic itself (write-backs, refills) is priced by the normal
+    #: cache/swap machinery; this is only the control-plane cost.
+    path_switch_ns: float = 2000.0
+
     #: free-form overrides recorded for provenance
     notes: dict = field(default_factory=dict, compare=False)
 

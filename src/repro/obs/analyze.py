@@ -31,6 +31,8 @@ cost model):
   ``ready`` and surface as ``prefetch_wait``).
 * ``offload_rpc`` — two-sided RPC round trips.
 * ``aifm_runtime`` — AIFM's per-dereference and per-miss library time.
+* ``path_switch`` — the hybrid manager's control-plane cost of flipping
+  a section group between the swap and object paths (``path.switch.ov``).
 * ``compute`` — the residual: CPU, DRAM, profiling, lock time.
 
 The per-category totals are cross-validated against the clock breakdown
@@ -61,6 +63,7 @@ BUCKET_OF = {
     "rpc": "offload_rpc",
     "aifm_deref": "aifm_runtime",
     "aifm_miss": "aifm_runtime",
+    "path_switch": "path_switch",
     "compute": "compute",
 }
 
@@ -434,6 +437,12 @@ class _Analyzer:
             "attr_ns": 0.0,
         }
         self.seg.degradations.append(self._open_window)
+
+    def _on_path_switch(self, ev: dict) -> None:
+        # hybrid data plane: the switch's control-plane overhead is its
+        # own exclusive bucket; the migration traffic (write-backs,
+        # refills) is already attributed by the cache/swap events
+        self._add("path_switch", ev.get("ov", 0.0), ev.get("sec", "?"))
 
     def _on_prof_snapshot(self, ev: dict) -> None:
         self._finalize_segment(ev.get("elapsed", ev.get("t", 0.0)), ev)

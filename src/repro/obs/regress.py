@@ -4,7 +4,8 @@ Compares fresh measurements against ``BENCH_chaos.json`` (virtual-time
 chaos cells), ``BENCH_engine.json`` (interpreter throughput plus the
 virtual time of the Fig. 5 single points), ``BENCH_prefetch.json``
 (prefetch-policy sweep stall/elapsed, when committed), and
-``BENCH_trace.json`` (trace-replay scenario sweep, when committed):
+``BENCH_trace.json`` (trace-replay scenario sweep, when committed), and
+``BENCH_hybrid.json`` (hybrid path-switch benchmark, when committed):
 
 * **virtual-time metrics are hard-gated**: the simulator is
   deterministic, so ``healthy_ns``/``faulty_ns``/``virtual_ns`` must
@@ -30,6 +31,7 @@ baseline/current file.  Also reachable as
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import pathlib
@@ -54,6 +56,9 @@ DEFAULT_TRACE_SCENARIOS = ("zipf_hot", "chase_small")
 #: trace systems re-measured live by default: a page-swap baseline, its
 #: prefetching variant, and the strongest Mira cache geometry
 DEFAULT_TRACE_SYSTEMS = ("fastswap", "leap", "mira-set")
+#: hybrid cells re-measured live by default: one steady promote (zipf_hot)
+#: and the mid-run phase-change switch demo (mixed_rw)
+DEFAULT_HYBRID_SCENARIOS = ("zipf_hot", "mixed_rw")
 
 
 @dataclass
@@ -136,8 +141,26 @@ def flatten_trace(doc: dict) -> dict[str, float]:
     return out
 
 
+def flatten_hybrid(doc: dict) -> dict[str, float]:
+    """``BENCH_hybrid.json`` cells -> flat {metric: virtual ns}.
+
+    Both halves of the hybrid benchmark are hard-gated: the IR cells
+    (``run_plan(hybrid=True)`` vs the baselines) and the trace-corpus
+    cells (the ``"hybrid"`` trace system) are virtual-time deterministic.
+    """
+    out: dict[str, float] = {}
+    for cell in doc.get("ir_cells", []):
+        key = f"hybrid.ir.{cell['workload']}.{cell['system']}"
+        out[key + ".elapsed_ns"] = float(cell["elapsed_ns"])
+    for cell in doc.get("trace_cells", []):
+        key = f"hybrid.trace.{cell['scenario']}.{cell['system']}"
+        out[key + ".elapsed_ns"] = float(cell["elapsed_ns"])
+    return out
+
+
 def load_baselines(
-    engine_path, chaos_path, prefetch_path=None, trace_path=None
+    engine_path, chaos_path, prefetch_path=None, trace_path=None,
+    hybrid_path=None,
 ) -> dict[str, float]:
     metrics: dict[str, float] = {}
     metrics.update(flatten_engine(load_json(engine_path)))
@@ -146,10 +169,36 @@ def load_baselines(
         metrics.update(flatten_prefetch(load_json(prefetch_path)))
     if trace_path is not None:
         metrics.update(flatten_trace(load_json(trace_path)))
+    if hybrid_path is not None:
+        metrics.update(flatten_hybrid(load_json(hybrid_path)))
     return metrics
 
 
 # -- fresh measurement ------------------------------------------------------
+
+#: environment knobs that change what a measurement runs (engine choice,
+#: ambient prefetch policy); pinned off for the whole of
+#: :func:`measure_current` so comparisons against the committed baselines
+#: are not contaminated by the caller's shell
+_MEASURE_ENV = ("REPRO_ENGINE", "REPRO_PREFETCH")
+
+
+@contextlib.contextmanager
+def _pinned_env(*names: str):
+    """Remove ``names`` from ``os.environ`` for the duration, restoring
+    the exact prior values on exit -- including when the body raises, so
+    a crashing measurement can never leak a mutated environment into the
+    caller's process (the same discipline ``_measure_throughput`` applies
+    to its own internal engine switching)."""
+    saved = {name: os.environ.pop(name, None) for name in names}
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
 
 
 def _measure_throughput() -> dict[str, float]:
@@ -253,6 +302,20 @@ def _measure_trace(
     return metrics
 
 
+def _measure_hybrid(scenarios=DEFAULT_HYBRID_SCENARIOS) -> dict[str, float]:
+    """Deterministic virtual time of the ``"hybrid"`` trace system on a
+    subset of scenarios (same cells ``benchmarks/hybrid_smoke.py`` stores
+    in ``BENCH_hybrid.json``'s ``trace_cells``)."""
+    from repro.bench.tracebench import measure_cell
+
+    metrics: dict[str, float] = {}
+    for scenario in scenarios:
+        cell = measure_cell(scenario, "hybrid")
+        key = f"hybrid.trace.{scenario}.hybrid"
+        metrics[key + ".elapsed_ns"] = float(cell["elapsed_ns"])
+    return metrics
+
+
 def measure_current(
     workloads=DEFAULT_WORKLOADS,
     systems=DEFAULT_SYSTEMS,
@@ -265,36 +328,45 @@ def measure_current(
     trace: bool = True,
     trace_scenarios=DEFAULT_TRACE_SCENARIOS,
     trace_systems=DEFAULT_TRACE_SYSTEMS,
+    hybrid: bool = True,
+    hybrid_scenarios=DEFAULT_HYBRID_SCENARIOS,
 ) -> dict[str, float]:
     """Re-measure a subset of the baseline metrics, live.
 
     Chaos cells are recomputed with the exact parameters the baseline
     harness used (``run_chaos_point`` defaults: ratio 0.25, default cost
     model, 2e7 ns fault horizon), so their virtual times are directly
-    comparable.
+    comparable.  The whole measurement runs under :func:`_pinned_env`:
+    ambient ``REPRO_ENGINE``/``REPRO_PREFETCH`` are pinned off and
+    restored afterwards even if a measurement raises.
     """
     from repro.faults.chaos import default_matrix, run_chaos_point
 
-    metrics: dict[str, float] = {}
-    plans = default_matrix(seeds=tuple(seeds), intensities=tuple(intensities))
-    for name in workloads:
-        for system in systems:
-            for plan in plans:
-                p = run_chaos_point(name, system, plan)
-                key = (
-                    f"chaos.{p.workload}.{p.system}.s{p.seed}.{p.intensity}"
-                )
-                metrics[key + ".healthy_ns"] = p.healthy_ns
-                metrics[key + ".faulty_ns"] = p.faulty_ns
-    if single_points:
-        metrics.update(_measure_virtual_points())
-    if throughput:
-        metrics.update(_measure_throughput())
-    if prefetch:
-        metrics.update(_measure_prefetch(prefetch_workloads))
-    if trace:
-        metrics.update(_measure_trace(trace_scenarios, trace_systems))
-    return metrics
+    with _pinned_env(*_MEASURE_ENV):
+        metrics: dict[str, float] = {}
+        plans = default_matrix(
+            seeds=tuple(seeds), intensities=tuple(intensities)
+        )
+        for name in workloads:
+            for system in systems:
+                for plan in plans:
+                    p = run_chaos_point(name, system, plan)
+                    key = (
+                        f"chaos.{p.workload}.{p.system}.s{p.seed}.{p.intensity}"
+                    )
+                    metrics[key + ".healthy_ns"] = p.healthy_ns
+                    metrics[key + ".faulty_ns"] = p.faulty_ns
+        if single_points:
+            metrics.update(_measure_virtual_points())
+        if throughput:
+            metrics.update(_measure_throughput())
+        if prefetch:
+            metrics.update(_measure_prefetch(prefetch_workloads))
+        if trace:
+            metrics.update(_measure_trace(trace_scenarios, trace_systems))
+        if hybrid:
+            metrics.update(_measure_hybrid(hybrid_scenarios))
+        return metrics
 
 
 # -- comparison -------------------------------------------------------------
@@ -404,6 +476,15 @@ def main(argv: list[str] | None = None) -> int:
         default=list(DEFAULT_TRACE_SYSTEMS),
         help="systems to re-measure in the trace-replay sweep",
     )
+    ap.add_argument("--hybrid", default=None, help="BENCH_hybrid.json path")
+    ap.add_argument("--no-hybrid", action="store_true",
+                    help="skip the hybrid path-switch metrics")
+    ap.add_argument(
+        "--hybrid-scenarios",
+        nargs="+",
+        default=list(DEFAULT_HYBRID_SCENARIOS),
+        help="trace scenarios to re-measure on the hybrid system",
+    )
     args = ap.parse_args(argv)
 
     engine_path = args.engine or _repo_default("BENCH_engine.json")
@@ -414,8 +495,13 @@ def main(argv: list[str] | None = None) -> int:
     trace_path = args.trace or _repo_default("BENCH_trace.json")
     if args.no_trace or not pathlib.Path(trace_path).exists():
         trace_path = None
+    hybrid_path = args.hybrid or _repo_default("BENCH_hybrid.json")
+    if args.no_hybrid or not pathlib.Path(hybrid_path).exists():
+        hybrid_path = None
     try:
-        baseline = load_baselines(engine_path, chaos_path, prefetch_path, trace_path)
+        baseline = load_baselines(
+            engine_path, chaos_path, prefetch_path, trace_path, hybrid_path
+        )
     except (OSError, ValueError, KeyError) as e:
         print(f"regress: cannot load baselines: {e}")
         return 2
@@ -444,6 +530,8 @@ def main(argv: list[str] | None = None) -> int:
             trace=not args.no_trace and trace_path is not None,
             trace_scenarios=args.trace_scenarios,
             trace_systems=args.trace_systems,
+            hybrid=not args.no_hybrid and hybrid_path is not None,
+            hybrid_scenarios=args.hybrid_scenarios,
         )
     if args.save_current:
         with open(args.save_current, "w", encoding="utf-8") as f:

@@ -84,6 +84,12 @@ KINDS = frozenset(
         "fault.giveup",
         # graceful degradation applied by the cache manager
         "degrade.section",
+        # hybrid data plane (repro.cache.hybrid): one online switch of a
+        # section group between the swap path and the object path, with
+        # the windowed signals that triggered it.  Unlike degradation,
+        # switches are a deterministic consequence of the access stream,
+        # so traces containing them stay self-replayable.
+        "path.switch",
         # pluggable prefetch policies (repro.prefetch): a policy's plan on
         # a demand miss, and the fate of one of its prefetches (used
         # timely/late, or discarded unread).  Only policies with
@@ -100,6 +106,7 @@ KINDS = frozenset(
         # the call reproduces the run exactly (see DESIGN.md section 4h).
         "mem.access",
         "mem.alloc",
+        "mem.plan",
         "mem.free",
         "mem.open",
         "mem.close",

@@ -65,7 +65,8 @@ def main(argv: list[str] | None = None) -> int:
         help="bit-exact self-replay of a recorded access_log trace",
     )
     ap.add_argument(
-        "--system", default="fastswap", choices=sorted(TRACE_SYSTEMS + ("native",))
+        "--system", default="fastswap",
+        choices=sorted(TRACE_SYSTEMS + ("native", "hybrid")),
     )
     ap.add_argument(
         "--ratio", type=float, default=0.5,

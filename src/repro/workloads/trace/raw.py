@@ -147,7 +147,13 @@ def _read_jsonl(path: str) -> Iterator[tuple]:
             if addr < 0:
                 raise TraceFormatError(f"{where}: negative address {addr}")
             if "tid" in rec:
-                yield (addr, is_write, int(rec["tid"]))
+                try:
+                    tid = int(rec["tid"])
+                except (TypeError, ValueError):
+                    raise TraceFormatError(
+                        f"{where}: bad thread id {rec['tid']!r}"
+                    ) from None
+                yield (addr, is_write, tid)
             else:
                 yield (addr, is_write)
 
@@ -162,7 +168,11 @@ def write_raw(
     """Write an op stream to ``path``; returns the number of ops written.
 
     Refuses to clobber an existing file unless ``force=True`` (traces are
-    experiment inputs; silent overwrites destroy reproducibility).
+    experiment inputs; silent overwrites destroy reproducibility).  Every
+    op must be a 2- or 3-tuple; anything else raises
+    :class:`~repro.errors.TraceFormatError` naming the offending op, so a
+    malformed stream can never be written in a shape that would not
+    round-trip through :func:`read_raw`.
     """
     fmt = fmt or _guess_format(path)
     if fmt not in ("csv", "jsonl"):
@@ -180,8 +190,13 @@ def write_raw(
             for op in ops:
                 if len(op) == 3:
                     fh.write(f"{op[0]},{int(op[1])},{op[2]}\n")
-                else:
+                elif len(op) == 2:
                     fh.write(f"{op[0]},{int(op[1])}\n")
+                else:
+                    raise TraceFormatError(
+                        f"op {count}: expected (addr, is_write[, tid]), "
+                        f"got a {len(op)}-tuple"
+                    )
                 count += 1
         else:
             header = {"schema": RAW_SCHEMA}
@@ -189,6 +204,11 @@ def write_raw(
                 header["meta"] = meta
             fh.write(json.dumps(header, sort_keys=True) + "\n")
             for op in ops:
+                if len(op) not in (2, 3):
+                    raise TraceFormatError(
+                        f"op {count}: expected (addr, is_write[, tid]), "
+                        f"got a {len(op)}-tuple"
+                    )
                 rec = {"a": op[0], "w": int(op[1])}
                 if len(op) == 3:
                     rec["tid"] = op[2]

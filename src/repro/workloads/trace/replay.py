@@ -25,6 +25,7 @@ from typing import Iterable
 
 from repro.baselines import AIFM, FastSwap, Leap, NativeMemory
 from repro.cache.config import SectionConfig, Structure
+from repro.cache.hybrid import HybridManager
 from repro.cache.manager import CacheManager
 from repro.errors import MemoryError_, TraceError
 from repro.memsim.address import PAGE_SIZE
@@ -90,7 +91,8 @@ def make_system(
     cost: CostModel | None = None,
     policy=None,
 ):
-    """Build one of :data:`TRACE_SYSTEMS` (plus ``"native"``) for replay.
+    """Build one of :data:`TRACE_SYSTEMS` (plus ``"native"`` and
+    ``"hybrid"``) for replay.
 
     The three ``mira-*`` geometries are the CacheManager with one cache
     section per structure kind sized at 3/4 of local memory (256-byte
@@ -109,11 +111,29 @@ def make_system(
         return Leap(cost, local_mem_bytes, policy=policy or "leap")
     if system == "aifm":
         return AIFM(cost, local_mem_bytes)
+    if system == "hybrid":
+        # the path switcher starts every region on the swap path (a raw
+        # trace carries no plan-time signals) with a standing mira-set
+        # shaped group to promote into when the windowed signals say so
+        manager = HybridManager(cost, local_mem_bytes, policy=policy)
+        line = 256
+        size = max(line, (local_mem_bytes * 3 // 4) // line * line)
+        manager.plan_group(
+            SectionConfig(
+                name="trace",
+                size_bytes=size,
+                line_size=line,
+                structure=Structure.SET_ASSOCIATIVE,
+            ),
+            ["*"],
+            path="swap",
+        )
+        return manager
     structure = _MIRA_STRUCTURES.get(system)
     if structure is None:
         raise TraceError(
             f"unknown trace system {system!r}; expected one of "
-            f"{TRACE_SYSTEMS + ('native',)}"
+            f"{TRACE_SYSTEMS + ('native', 'hybrid')}"
         )
     manager = CacheManager(cost, local_mem_bytes, policy=policy)
     line = 256

@@ -160,6 +160,20 @@ def replay_events(system, events: list[dict], elapsed_ns: float | None = None):
                 list(ev["ids"]),
                 per_thread=ev["pt"],
             )
+        elif kind == "mem.plan":
+            # hybrid path group; a no-op on a system already planned the
+            # same way (make_system), a real registration on a bare one
+            if not hasattr(system, "plan_group"):
+                raise TraceError(
+                    f"event {idx} is a hybrid 'mem.plan' but the replay "
+                    f"system {type(system).__name__} has no plan_group()"
+                )
+            system.plan_group(
+                SectionConfig.from_fields(ev["cfg"]),
+                list(ev["names"]),
+                per_thread=ev["pt"],
+                path=ev["path"],
+            )
         elif kind == "mem.close":
             system.close_section(ev["sec"])
         elif kind == "mem.prefetch":
@@ -307,6 +321,13 @@ def fresh_system_for(header: dict, cost: CostModel | None = None):
         from repro.cache.manager import CacheManager
 
         return CacheManager(cost, local)
+    if system == "hybrid":
+        # bare manager: the recorded mem.plan events rebuild the path
+        # groups during replay (default HybridConfig -- thresholds are
+        # part of the replay contract, not the trace)
+        from repro.cache.hybrid import HybridManager
+
+        return HybridManager(cost, local)
     from repro.workloads.trace.replay import make_system
 
     return make_system(system, local, cost=cost)

@@ -315,6 +315,41 @@ def test_degradation_demotes_comm_before_remapping():
     mgr.access(obj.obj_id, 0, 8, False)
 
 
+def test_degradation_victim_tie_break_is_name_order():
+    """Two sections with identical miss counts: the remap victim is the
+    lexicographically-first name, pinned so the degradation order is
+    deterministic (and documented) when scores tie."""
+    cost = CostModel()
+    mgr = CacheManager(cost, local_mem_bytes=1 << 20)
+    mgr.enable_faults(FaultPlan(seed=1, loss_prob=0.5, breaker_threshold=2))
+    objs = {}
+    for name in ("sb", "sa"):  # open out of name order on purpose
+        obj = mgr.allocate(64 * 1024, name=f"obj_{name}")
+        cfg = SectionConfig(
+            name=name,
+            size_bytes=32 * 1024,
+            line_size=256,
+            one_sided=True,  # demotion step already done: remap is next
+            fetch_bytes=64,
+        )
+        mgr.open_section(cfg, [obj.obj_id])
+        objs[name] = obj
+    # one miss each: identical scores
+    mgr.access(objs["sa"].obj_id, 0, 8, False)
+    mgr.access(objs["sb"].obj_id, 0, 8, False)
+    assert (
+        mgr.sections()["sa"].stats.misses == mgr.sections()["sb"].stats.misses
+    )
+    mgr._note_persistent_failure("read")
+    mgr.access(objs["sb"].obj_id, 0, 8, False)
+    mgr._note_persistent_failure("read")
+    mgr.access(objs["sb"].obj_id, 0, 8, False)
+    assert mgr.degrade_log == [
+        {"action": "remap_swap", "sec": "sa"},
+        {"action": "remap_swap", "sec": "sb"},
+    ]
+
+
 def test_degradation_purges_pending_assignments():
     mgr, obj = _manager_with_section(one_sided=True)  # demotion already done
     mgr.pending_assignment["future_alloc"] = "sec"

@@ -14,6 +14,7 @@ from repro.obs.regress import (
     compare,
     flatten_chaos,
     flatten_engine,
+    flatten_hybrid,
     flatten_prefetch,
     flatten_trace,
     gate,
@@ -26,6 +27,7 @@ ENGINE = REPO / "BENCH_engine.json"
 CHAOS = REPO / "BENCH_chaos.json"
 PREFETCH = REPO / "BENCH_prefetch.json"
 TRACE = REPO / "BENCH_trace.json"
+HYBRID = REPO / "BENCH_hybrid.json"
 
 
 # -- flattening ----------------------------------------------------------------
@@ -108,6 +110,39 @@ def test_flatten_trace_cells():
     }
     assert flatten_trace(doc) == {"trace.s.y.elapsed_ns": 7.0}
     assert flatten_trace({}) == {}
+
+
+def test_flatten_hybrid_cells():
+    doc = {
+        "ir_cells": [
+            {"workload": "w", "system": "hybrid", "elapsed_ns": 3.0},
+        ],
+        "trace_cells": [
+            {"scenario": "s", "system": "hybrid", "elapsed_ns": 7.0},
+        ],
+    }
+    assert flatten_hybrid(doc) == {
+        "hybrid.ir.w.hybrid.elapsed_ns": 3.0,
+        "hybrid.trace.s.hybrid.elapsed_ns": 7.0,
+    }
+    assert flatten_hybrid({}) == {}
+
+
+def test_flatten_committed_hybrid_baseline():
+    metrics = load_baselines(ENGINE, CHAOS, hybrid_path=HYBRID)
+    ir = [k for k in metrics if k.startswith("hybrid.ir.")]
+    tr = [k for k in metrics if k.startswith("hybrid.trace.")]
+    # 5 workloads x 4 systems; 8 scenarios x 4 systems
+    assert len(ir) >= 20 and len(tr) >= 32
+    for system in ("fastswap", "mira", "hybrid"):
+        assert f"hybrid.ir.graph_traversal.{system}.elapsed_ns" in metrics
+    # the acceptance criterion is visible straight from the baseline:
+    # hybrid matches or beats the better of fastswap/aifm per workload
+    doc = json.loads(HYBRID.read_text())
+    for workload, acc in doc["acceptance"].items():
+        assert acc["hybrid_wins"], workload
+    # and at least one trace scenario demonstrates a mid-run switch
+    assert doc["midrun_switches"]
 
 
 def test_flatten_committed_trace_baseline():
@@ -290,6 +325,67 @@ def test_measure_throughput_restores_env_on_error(monkeypatch):
     assert "REPRO_ENGINE" not in os.environ
 
 
+def test_pinned_env_restores_values_on_error(monkeypatch):
+    """``_pinned_env`` pins knobs off for the body and restores the exact
+    prior environment even when the body raises."""
+    monkeypatch.setenv("REPRO_ENGINE", "codegen")
+    monkeypatch.delenv("REPRO_PREFETCH", raising=False)
+    with pytest.raises(RuntimeError):
+        with regress._pinned_env("REPRO_ENGINE", "REPRO_PREFETCH"):
+            assert "REPRO_ENGINE" not in os.environ
+            assert "REPRO_PREFETCH" not in os.environ
+            raise RuntimeError("boom")
+    assert os.environ["REPRO_ENGINE"] == "codegen"
+    assert "REPRO_PREFETCH" not in os.environ
+
+
+def test_measure_current_restores_env_on_error(monkeypatch):
+    """A measurement that blows up mid-``measure_current`` must leave
+    ``os.environ`` exactly as the caller had it (the whole body runs
+    under ``_pinned_env``)."""
+    import repro.faults.chaos
+
+    def boom(*args, **kw):
+        raise RuntimeError("boom")
+
+    monkeypatch.setattr(repro.faults.chaos, "run_chaos_point", boom)
+    monkeypatch.setenv("REPRO_PREFETCH", "markov")
+    monkeypatch.setenv("REPRO_ENGINE", "reference")
+    before = dict(os.environ)
+    with pytest.raises(RuntimeError):
+        measure_current(workloads=("array_sum",), systems=("fastswap",))
+    assert dict(os.environ) == before
+
+
+def test_measure_current_pins_ambient_knobs(monkeypatch):
+    """An ambient ``$REPRO_PREFETCH``/``$REPRO_ENGINE`` must not leak
+    into the measured cells: baselines were measured with them unset."""
+    import repro.faults.chaos
+
+    seen = {}
+
+    class _Point:
+        workload, system, seed, intensity = "w", "s", 1, "light"
+        healthy_ns = faulty_ns = 1.0
+
+    def spy(*args, **kw):
+        seen["engine"] = os.environ.get("REPRO_ENGINE")
+        seen["prefetch"] = os.environ.get("REPRO_PREFETCH")
+        return _Point()
+
+    monkeypatch.setattr(repro.faults.chaos, "run_chaos_point", spy)
+    monkeypatch.setenv("REPRO_PREFETCH", "markov")
+    monkeypatch.setenv("REPRO_ENGINE", "codegen")
+    measure_current(
+        workloads=("array_sum",), systems=("fastswap",),
+        throughput=False, single_points=False, prefetch=False,
+        trace=False, hybrid=False,
+    )
+    assert seen == {"engine": None, "prefetch": None}
+    assert os.environ["REPRO_PREFETCH"] == "markov"
+    assert os.environ["REPRO_ENGINE"] == "codegen"
+
+
 # -- one live deterministic cell ----------------------------------------------
 
 
@@ -300,6 +396,7 @@ def test_measured_chaos_cell_matches_committed_baseline():
     baseline = flatten_chaos(json.loads(CHAOS.read_text()))
     baseline.update(flatten_prefetch(json.loads(PREFETCH.read_text())))
     baseline.update(flatten_trace(json.loads(TRACE.read_text())))
+    baseline.update(flatten_hybrid(json.loads(HYBRID.read_text())))
     current = measure_current(
         workloads=("array_sum",),
         systems=("fastswap",),
@@ -310,9 +407,11 @@ def test_measured_chaos_cell_matches_committed_baseline():
         prefetch_workloads=("array_sum",),
         trace_scenarios=("zipf_hot",),
         trace_systems=("fastswap", "mira-set"),
+        hybrid_scenarios=("zipf_hot",),
     )
     assert any(k.startswith("prefetch.") for k in current)
     assert any(k.startswith("trace.") for k in current)
+    assert any(k.startswith("hybrid.") for k in current)
     for key, value in current.items():
         assert key in baseline, key
         assert value == pytest.approx(baseline[key], rel=1e-12)

@@ -190,6 +190,37 @@ def test_round_trip_preserves_tid_arity(tmp_path):
         ]
 
 
+def test_round_trip_mixed_arity_exact(tmp_path):
+    """A stream interleaving 2- and 3-tuples round-trips exactly in both
+    formats: every op keeps its own arity, order, and values."""
+    ops = [
+        (0, False),
+        (4096, True, 0),
+        (8192, False, 7),
+        (0x3000, True),
+        (16384, False, 2),
+        (2 * 4096, True),
+    ]
+    for ext in ("csv", "jsonl"):
+        path = tmp_path / f"mixed.{ext}"
+        n = write_raw(str(path), ops)
+        assert n == len(ops)
+        back = [tuple(op) for op in read_raw(str(path))]
+        assert back == ops, ext
+        assert ops_digest(back) == ops_digest(ops)
+
+
+@pytest.mark.parametrize("ext", ["csv", "jsonl"])
+@pytest.mark.parametrize("bad", [(), (4096,), (4096, 1, 2, 3)])
+def test_write_raw_rejects_bad_arity(tmp_path, ext, bad):
+    """write_raw must refuse arities read_raw could never round-trip --
+    a typed error naming the offending op, not a silently truncated
+    file."""
+    path = tmp_path / f"bad.{ext}"
+    with pytest.raises(TraceFormatError, match="op 1"):
+        write_raw(str(path), [(0, False), bad], force=True)
+
+
 def test_digest_is_format_independent(tmp_path):
     ops = list(sequential_ops(1 << 14, 200, seed=1))
     write_raw(str(tmp_path / "a.csv"), ops)
@@ -251,6 +282,8 @@ def test_csv_errors_are_typed_with_line_numbers(tmp_path, body, match):
         ('[1, 2]\n', "expected a JSON object"),
         ('{"w": 1}\n', "need integer"),
         ('{"a": -4, "w": 1}\n', "negative address"),
+        ('{"a": 4096, "w": 1, "tid": "x"}\n', "bad thread id"),
+        ('{"a": 4096, "w": 1, "tid": null}\n', "bad thread id"),
         ('{"schema": "repro.trace/v999"}\n', "unsupported trace schema"),
     ],
 )

@@ -133,7 +133,9 @@ _QUICK = ScenarioSpec(
 
 
 @pytest.mark.parametrize(
-    "system", ["fastswap", "leap", "aifm", "mira-direct", "mira-set", "mira-full"]
+    "system",
+    ["fastswap", "leap", "aifm", "mira-direct", "mira-set", "mira-full",
+     "hybrid"],
 )
 def test_raw_scenario_self_replay_across_systems(system):
     tracer = Tracer(access_log=True)
@@ -152,6 +154,77 @@ def test_scenario_rerun_is_deterministic():
     b = run_scenario("zipf_hot", "mira-set", RATIO)
     assert a.elapsed_ns == b.elapsed_ns
     assert a.sections == b.sections
+
+
+# -- address translation at region boundaries --------------------------------
+
+# Two page-aligned regions separated by a gap far larger than
+# REGION_GAP_PAGES, so the cached-last-region fast path in replay_ops has
+# a stale-cache hazard to get wrong at every boundary.
+_REGIONS = [(0, 2 * 4096), (100 * 4096, 4096)]
+
+
+def _replay_boundary_ops(ops, regions=None):
+    from repro.baselines import FastSwap
+
+    system = FastSwap(CostModel(), 1 << 20)
+    from repro.workloads.trace.replay import replay_ops
+
+    return replay_ops(system, ops, regions if regions is not None else _REGIONS)
+
+
+def test_replay_ops_boundary_addresses_translate():
+    """First byte, last aligned slot, and cross-region hops -- including
+    returning to a region after the cache moved past it -- all resolve."""
+    ops = [
+        (0, 0),  # first byte of region 0
+        (2 * 4096 - 8, 0),  # last aligned 8-byte slot of region 0
+        (100 * 4096, 0),  # first byte of region 1 (cache moves forward)
+        (100 * 4096 + 4096 - 8, 1),  # last aligned slot of region 1
+        (0, 1),  # back to region 0: the cached region 1 must not be used
+        (2 * 4096 - 8, 0),
+    ]
+    assert _replay_boundary_ops(ops) == len(ops)
+
+
+def test_replay_ops_one_past_region_end_raises():
+    from repro.errors import MemoryError_
+
+    with pytest.raises(MemoryError_, match="gap after region 0"):
+        _replay_boundary_ops([(2 * 4096, 0)])
+
+
+def test_replay_ops_gap_address_raises_even_with_stale_cache():
+    """After the cache has advanced to region 1, an address one past
+    region 0's end must still raise -- never silently mistranslate into
+    the cached region's object."""
+    from repro.errors import MemoryError_
+
+    with pytest.raises(MemoryError_, match="gap after region 0"):
+        _replay_boundary_ops([(100 * 4096, 0), (2 * 4096, 0)])
+
+
+def test_replay_ops_past_last_region_raises():
+    from repro.errors import MemoryError_
+
+    with pytest.raises(MemoryError_, match="gap after region 1"):
+        _replay_boundary_ops([(100 * 4096 + 4096, 0)])
+
+
+def test_replay_ops_below_every_region_raises():
+    from repro.errors import MemoryError_
+
+    with pytest.raises(MemoryError_, match="below every mapped region"):
+        _replay_boundary_ops([(0, 0)], regions=[(4096, 4096)])
+
+
+def test_replay_ops_straddling_region_end_raises():
+    """An access that starts in-bounds but runs past the region's end is
+    the canonical straddle error, not a silent partial read."""
+    from repro.errors import MemoryError_
+
+    with pytest.raises(MemoryError_):
+        _replay_boundary_ops([(2 * 4096 - 4, 0)])
 
 
 # -- divergence detection ----------------------------------------------------
