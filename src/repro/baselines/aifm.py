@@ -146,6 +146,9 @@ class AIFM(MemorySystem):
         miss_extra = self._miss_extra_ns
         self.clock.advance(miss_extra, "aifm_miss")
         stats.miss_wait_ns += wait + miss_extra
+        tel = self.telemetry
+        if tel is not None:
+            tel.observe_miss_wait(wait + miss_extra)
         resident[key] = is_write
         self._resident_bytes += chunk_size
         tr = self.tracer
@@ -188,3 +191,9 @@ class AIFM(MemorySystem):
 
     def metadata_bytes(self) -> int:
         return self._metadata_bytes
+
+    def collect_section_stats(self) -> dict[str, dict]:
+        """Per-section stats in the CacheManager shape (one pseudo-section
+        for the remotable-object pool), so metrics collection and the
+        windowed telemetry collector treat AIFM uniformly."""
+        return {"aifm": vars(self.swap_stats).copy()}

@@ -74,6 +74,10 @@ class FastSwap(MemorySystem):
         self._bind_access_log(tracer)
         self.swap.set_tracer(tracer)
 
+    def set_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+        self.swap.telemetry = telemetry
+
     def access(
         self,
         obj_id: int,
@@ -181,6 +185,7 @@ class FastSwap(MemorySystem):
         if (
             self._has_after_hook
             or self.tracer is not None
+            or self.telemetry is not None
             or self.network.faults is not None
             or stride % 8
             or offset0 % 8

@@ -47,6 +47,10 @@ class MemorySystem(abc.ABC):
         self.stats = MemoryStats()
         #: attached :class:`repro.obs.Tracer`, or None (tracing disabled)
         self.tracer = None
+        #: attached :class:`repro.obs.timeseries.TelemetryCollector`, or
+        #: None (telemetry disabled; miss-path observe hooks are then a
+        #: single ``is not None`` test, the same deal as the tracer)
+        self.telemetry = None
         #: the tracer again iff it was built with ``access_log=True``:
         #: every public call then records a ``mem.*`` op-log event at its
         #: entry (time + arguments), making the trace self-replayable.
@@ -118,6 +122,13 @@ class MemorySystem(abc.ABC):
         self.tracer = tracer
         self.network.tracer = tracer
         self._bind_access_log(tracer)
+
+    def set_telemetry(self, telemetry) -> None:
+        """Attach a :class:`~repro.obs.timeseries.TelemetryCollector`
+        (or None to detach).  Subclasses propagate to their sections so
+        miss-wait observations reach the collector's per-window
+        histogram."""
+        self.telemetry = telemetry
 
     def _bind_access_log(self, tracer) -> None:
         """Enable the ``mem.*`` op log iff the tracer asked for it."""

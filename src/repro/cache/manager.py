@@ -90,6 +90,12 @@ class CacheManager(MemorySystem):
         for sec in self._sections.values():
             sec.set_tracer(tracer)
 
+    def set_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+        self.swap.telemetry = telemetry
+        for sec in self._sections.values():
+            sec.telemetry = telemetry
+
     # -- fault handling / graceful degradation --------------------------------
 
     def enable_faults(self, plan) -> None:
@@ -217,6 +223,7 @@ class CacheManager(MemorySystem):
             )
         section = make_section(config, self.cost, self.clock, self.network)
         section.set_tracer(self.tracer)
+        section.telemetry = self.telemetry
         self._sections[config.name] = section
         tr = self.tracer
         if tr is not None:
@@ -260,9 +267,15 @@ class CacheManager(MemorySystem):
         if not names:
             raise ConfigError(f"no open section named {name!r}")
         tr = self.tracer
+        tel = self.telemetry
         for n in names:
             sec = self._sections.pop(n)
             sec.close()
+            if tel is not None:
+                # the section vanishes from collect_section_stats(); fold
+                # its totals into the collector so cumulative series
+                # counters stay monotone across section lifetimes
+                tel.retire(sec.stats)
             if tr is not None:
                 tr.emit(
                     "sec.close",
@@ -479,8 +492,10 @@ class CacheManager(MemorySystem):
         category sums are exact for integer-valued cost constants.
 
         Any state where that argument does not hold returns False and the
-        caller falls back to its exact per-element loop: tracing on (the
-        per-element path emits the per-hit events), a fault plan or
+        caller falls back to its exact per-element loop: tracing or
+        windowed telemetry on (the per-element path emits the per-hit
+        events, and a window boundary crossed mid-aggregation would
+        snapshot stats no per-element engine ever sees), a fault plan or
         pending degradation (either can reconfigure sections mid-run),
         non-integer constants, or geometry where an element could straddle
         a line/page boundary (the 8-byte alignment gates below make that
@@ -491,6 +506,7 @@ class CacheManager(MemorySystem):
             return True
         if (
             self.tracer is not None
+            or self.telemetry is not None
             or self.policy is not None
             or self._path_hook is not None
             or self._degrade_pending

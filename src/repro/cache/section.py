@@ -54,6 +54,8 @@ class CacheSection(abc.ABC):
         self.stats = SectionStats()
         #: attached :class:`repro.obs.Tracer`, or None (tracing disabled)
         self.tracer = None
+        #: attached telemetry collector (miss-wait observations), or None
+        self.telemetry = None
         #: pre-bound per-kind emitters for the per-access emission sites
         #: (None when detached); cold sites go through ``tracer.emit``
         self._emit_hit = None
@@ -179,6 +181,9 @@ class CacheSection(abc.ABC):
                     wait = ready_at - clock.now
                     clock.wait_until(ready_at, "miss_wait")
                     stats.miss_wait_ns += wait
+                    tel = self.telemetry
+                    if tel is not None:
+                        tel.observe_miss_wait(wait)
                     stats.prefetch_hits += 1
                     stats.misses += 1
                     line.ready_at = 0.0
@@ -228,6 +233,9 @@ class CacheSection(abc.ABC):
         else:
             fetch_ns = self._fetch_sync()
         stats.miss_wait_ns += fetch_ns
+        tel = self.telemetry
+        if tel is not None:
+            tel.observe_miss_wait(fetch_ns)
         new = Line(key=key, dirty=is_write, last_use=self._use_counter)
         new.metadata_free = self._metadata_free
         self.install(new)

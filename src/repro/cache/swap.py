@@ -60,6 +60,8 @@ class SwapSection:
         self.stats = SectionStats()
         #: attached :class:`repro.obs.Tracer`, or None (tracing disabled)
         self.tracer = None
+        #: attached telemetry collector (miss-wait observations), or None
+        self.telemetry = None
         #: pre-bound per-kind emitters for the per-access emission sites
         #: (None when detached); cold sites go through ``tracer.emit``
         self._emit_hit = None
@@ -128,6 +130,9 @@ class SwapSection:
                     wait = ready_at - clock.now
                     clock.wait_until(ready_at, "miss_wait")
                     stats.miss_wait_ns += wait
+                    tel = self.telemetry
+                    if tel is not None:
+                        tel.observe_miss_wait(wait)
                     stats.prefetch_hits += 1
                     stats.misses += 1
                     entry.ready_at = 0.0
@@ -162,6 +167,9 @@ class SwapSection:
         self.clock.advance(fault_ns, "page_fault")
         wire_ns = self.network.read(PAGE_SIZE, one_sided=True)
         stats.miss_wait_ns += fault_ns + wire_ns
+        tel = self.telemetry
+        if tel is not None:
+            tel.observe_miss_wait(fault_ns + wire_ns)
         pages[page] = PageEntry(page=page, obj_id=obj_id, dirty=is_write)
         em = self._emit_fault
         if em is not None:

@@ -29,6 +29,7 @@ def run_plan(
     faults=None,
     prefetch_policy=None,
     hybrid: bool = False,
+    telemetry=None,
 ) -> RunResult:
     """Run a pipeline-compiled module on the Mira runtime.
 
@@ -43,6 +44,9 @@ def run_plan(
     becomes a path group starting on the plan's chosen path
     (``SectionPlan.path``), and the manager may switch groups between the
     swap and object paths online.
+    ``telemetry`` (a :class:`repro.obs.TelemetryCollector`) attaches the
+    windowed series collector and finishes it when the run returns; None
+    (the default) disables telemetry at zero cost.
     """
     from repro.memsim.resources import SerialResource
 
@@ -84,8 +88,13 @@ def run_plan(
             manager.open_section(sp.config, [], per_thread=sp.per_thread)
             for name in sp.object_names:
                 manager.pending_assignment[name] = sp.config.name
+    if telemetry is not None:
+        telemetry.attach(manager)
     interp = Interpreter(compiled, manager, data_init)
-    return interp.run(entry)
+    result = interp.run(entry)
+    if telemetry is not None:
+        telemetry.finish()
+    return result
 
 
 def run_on_baseline(
@@ -95,6 +104,7 @@ def run_on_baseline(
     entry: str = "main",
     tracer=None,
     faults=None,
+    telemetry=None,
 ) -> RunResult:
     """Run an (uncompiled) module on any memory system."""
     if tracer is not None:
@@ -104,5 +114,10 @@ def run_on_baseline(
     policy = getattr(system, "policy", None)
     if policy is not None:
         policy.prepare(module, entry=entry)
+    if telemetry is not None:
+        telemetry.attach(system)
     interp = Interpreter(module, system, data_init)
-    return interp.run(entry)
+    result = interp.run(entry)
+    if telemetry is not None:
+        telemetry.finish()
+    return result

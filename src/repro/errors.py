@@ -54,3 +54,8 @@ class ReplayDivergence(TraceError):
 
 class OffloadError(MiraError):
     """A function could not be offloaded (shared writable data, ...)."""
+
+
+class ObsError(MiraError):
+    """Observability-layer misuse: a metric name re-registered under a
+    conflicting type, an invalid telemetry window or SLO spec, ..."""

@@ -14,6 +14,15 @@ The clock has two charging paths:
   first, so the two paths are indistinguishable from the outside.  The
   compiled execution engine uses ``charge`` for its hot compute
   accounting; the reference interpreter only uses ``advance``.
+
+A *tick hook* (:meth:`set_tick_hook`) lets the windowed telemetry
+collector observe virtual-time window boundaries: whenever a fold moves
+``_now`` at or past the armed boundary, the callback fires with the new
+time and returns the next boundary to arm.  Disabled (the default) the
+boundary is ``+inf``, so every fold pays exactly one float compare --
+the clock's contribution to "telemetry off costs nothing".  Forked
+(per-thread) clocks never carry a hook; boundaries crossed inside a
+parallel region surface when the parent :meth:`join`\\ s.
 """
 
 from __future__ import annotations
@@ -28,13 +37,30 @@ class VirtualClock:
     string), which the profiler and the figure harnesses read.
     """
 
-    __slots__ = ("_now", "_breakdown", "_pending", "_pending_cat")
+    __slots__ = ("_now", "_breakdown", "_pending", "_pending_cat",
+                 "_tick_cb", "_next_tick")
 
     def __init__(self) -> None:
         self._now: float = 0.0
         self._breakdown: dict[str, float] = {}
         self._pending: float = 0.0
         self._pending_cat: str = "compute"
+        self._tick_cb = None
+        self._next_tick: float = float("inf")
+
+    def set_tick_hook(self, cb, first_boundary: float = float("inf")) -> None:
+        """Arm (or, with ``cb=None``, disarm) the boundary callback.
+
+        ``cb(now)`` is invoked after any fold that reaches
+        ``first_boundary`` and must return the next boundary to arm
+        (``inf`` to stop).  The callback must not advance this clock.
+        """
+        if cb is None:
+            self._tick_cb = None
+            self._next_tick = float("inf")
+        else:
+            self._tick_cb = cb
+            self._next_tick = first_boundary
 
     @property
     def now(self) -> float:
@@ -67,6 +93,8 @@ class VirtualClock:
         cat = self._pending_cat
         bd = self._breakdown
         bd[cat] = bd.get(cat, 0.0) + ns
+        if self._now >= self._next_tick:
+            self._next_tick = self._tick_cb(self._now)
 
     def advance(self, ns: float, category: str = "other") -> float:
         """Advance the clock by ``ns`` nanoseconds; returns the new time.
@@ -81,6 +109,8 @@ class VirtualClock:
         self._now += ns
         bd = self._breakdown
         bd[category] = bd.get(category, 0.0) + ns
+        if self._now >= self._next_tick:
+            self._next_tick = self._tick_cb(self._now)
         return self._now
 
     def wait_until(self, t: float, category: str = "wait") -> float:
@@ -115,6 +145,8 @@ class VirtualClock:
         self._breakdown.clear()
         self._pending = 0.0
         self._pending_cat = "compute"
+        self._tick_cb = None
+        self._next_tick = float("inf")
 
     def fork(self) -> "VirtualClock":
         """A new clock starting at this clock's current time.
@@ -139,6 +171,8 @@ class VirtualClock:
             self._breakdown[cat] = self._breakdown.get(cat, 0.0) + ns
         if other._now > self._now:
             self._now = other._now
+        if self._now >= self._next_tick:
+            self._next_tick = self._tick_cb(self._now)
 
     def __repr__(self) -> str:
         return f"VirtualClock(now={self.now:.1f}ns)"

@@ -1,23 +1,38 @@
-"""``repro.obs``: structured tracing, metrics, and trace analysis.
+"""``repro.obs``: structured tracing, metrics, telemetry, and analysis.
 
 * :mod:`repro.obs.trace` -- :class:`Tracer` and the stable JSONL event
   schema (deterministic digests; engine-parity enforced);
 * :mod:`repro.obs.metrics` -- :class:`MetricsRegistry`
   (counters/gauges/histograms with exact percentiles) that existing
   stats publish into;
+* :mod:`repro.obs.timeseries` -- :class:`TelemetryCollector`, the
+  deterministic windowed series collector (clock-hooked at virtual-time
+  window boundaries, ring-buffered, zero overhead when detached), plus
+  :func:`series_from_events` to fold an existing trace into the same
+  series shape;
+* :mod:`repro.obs.slo` -- declarative :class:`SloSpec` objectives with
+  error-budget / burn-rate evaluation into :class:`SloVerdict`;
+* :mod:`repro.obs.export` -- canonical series JSONL (+ SHA-256 digests)
+  and OpenMetrics/Prometheus text exposition;
 * :mod:`repro.obs.analyze` -- exclusive virtual-time attribution
   (buckets fsum exactly to the total), critical path, collapsed-stack
   flamegraph export;
+* :mod:`repro.obs.diff` -- differential trace comparison: first
+  divergent event (kind, seq, field), per-kind count deltas,
+  attribution-bucket deltas (``python -m repro.obs.diff A B``);
 * :mod:`repro.obs.regress` -- perf-regression gate over the committed
   ``BENCH_*.json`` baselines (``python -m repro.obs.regress``);
 * :mod:`repro.obs.report` -- ``python -m repro.obs.report trace.jsonl``:
   timelines, summaries, ``--attribution``/``--critical-path``/``--flame``
-  views, and ``--check`` (the gate).
+  views, ``--timeseries``/``--slo``/``--openmetrics`` telemetry views,
+  and ``--check`` (the gate).
 
 Attach a tracer with ``run_plan(..., tracer=t)`` /
 ``run_on_baseline(..., tracer=t)`` (or ``memsys.set_tracer(t)`` before
-building the interpreter).  With no tracer attached every emission point
-is a single ``None`` test: tracing costs nothing when off.
+building the interpreter); attach a telemetry collector the same way
+(``telemetry=TelemetryCollector(window_ns)``).  With neither attached
+every emission/observation point is a single ``None`` test: observability
+costs nothing when off.
 """
 
 from repro.obs.metrics import (
@@ -26,6 +41,12 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     collect_run_metrics,
+)
+from repro.obs.slo import SloSpec, SloVerdict, evaluate, render_verdict
+from repro.obs.timeseries import (
+    SERIES_SCHEMA,
+    TelemetryCollector,
+    series_from_events,
 )
 from repro.obs.trace import (
     KINDS,
@@ -45,9 +66,16 @@ __all__ = [
     "MEM_OP_KINDS",
     "MetricsRegistry",
     "SCHEMA",
+    "SERIES_SCHEMA",
+    "SloSpec",
+    "SloVerdict",
+    "TelemetryCollector",
     "Tracer",
     "collect_run_metrics",
     "digest_of_events",
+    "evaluate",
     "load_trace",
     "read_jsonl",
+    "render_verdict",
+    "series_from_events",
 ]

@@ -1,0 +1,201 @@
+"""Differential trace comparison.
+
+Pinpoints *where* two runs diverge, not just *that* they diverge.  Given
+two canonical JSONL traces (:mod:`repro.obs.trace`), :func:`diff_traces`
+reports:
+
+* whether the traces are behaviorally identical (event-digest compare,
+  same stability rules as golden-trace digests);
+* the **first divergence**: the sequence index of the first event pair
+  that differs, with both events, their kinds, and the exact field names
+  whose values differ (or which side is missing the event when one
+  trace is a strict prefix of the other);
+* per-kind event-count deltas (what got more hits, fewer evictions...);
+* attribution-bucket deltas via :mod:`repro.obs.analyze` -- how the
+  divergence shows up as virtual time.
+
+The first divergence is the debugging entry point: everything before it
+is byte-identical, so the cause of a regression lives at (or immediately
+before) that event.
+
+CLI::
+
+    python -m repro.obs.diff A.jsonl B.jsonl
+
+exits 0 when identical, 1 when divergent, 2 when a trace is unreadable.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.analyze import analyze_events
+from repro.obs.trace import digest_of_events, load_trace
+
+
+def _event_key(rec: dict) -> dict:
+    """An event minus its sequence index (the index is positional)."""
+    return {k: v for k, v in rec.items() if k != "i"}
+
+
+def first_divergence(a: list[dict], b: list[dict]) -> dict | None:
+    """First index where the streams disagree, or ``None`` if one is a
+    (possibly equal) prefix of the other and the common prefix matches."""
+    for i, (ra, rb) in enumerate(zip(a, b)):
+        ka, kb = _event_key(ra), _event_key(rb)
+        if ka != kb:
+            fields = sorted(
+                k
+                for k in set(ka) | set(kb)
+                if ka.get(k, _MISSING) != kb.get(k, _MISSING)
+            )
+            return {
+                "seq": i,
+                "kind_a": ra.get("k"),
+                "kind_b": rb.get("k"),
+                "fields": fields,
+                "event_a": ra,
+                "event_b": rb,
+            }
+    if len(a) != len(b):
+        i = min(len(a), len(b))
+        longer, side = (a, "a") if len(a) > len(b) else (b, "b")
+        return {
+            "seq": i,
+            "kind_a": a[i].get("k") if i < len(a) else None,
+            "kind_b": b[i].get("k") if i < len(b) else None,
+            "fields": ["<missing event>"],
+            "event_a": a[i] if i < len(a) else None,
+            "event_b": b[i] if i < len(b) else None,
+            "tail_events": len(longer) - i,
+            "tail_side": side,
+        }
+    return None
+
+
+_MISSING = object()
+
+
+def _kind_counts(events: list[dict]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for rec in events:
+        k = rec.get("k", "<unknown>")
+        counts[k] = counts.get(k, 0) + 1
+    return counts
+
+
+def diff_traces(events_a: list[dict], events_b: list[dict]) -> dict:
+    """Full structural diff of two decoded event streams."""
+    dig_a = digest_of_events(events_a)
+    dig_b = digest_of_events(events_b)
+    identical = dig_a == dig_b
+    counts_a = _kind_counts(events_a)
+    counts_b = _kind_counts(events_b)
+    kind_deltas = {
+        k: counts_b.get(k, 0) - counts_a.get(k, 0)
+        for k in sorted(set(counts_a) | set(counts_b))
+        if counts_b.get(k, 0) != counts_a.get(k, 0)
+    }
+    att_a = analyze_events(events_a)
+    att_b = analyze_events(events_b)
+    bucket_deltas = {
+        k: att_b.by_bucket.get(k, 0.0) - att_a.by_bucket.get(k, 0.0)
+        for k in sorted(set(att_a.by_bucket) | set(att_b.by_bucket))
+        if att_b.by_bucket.get(k, 0.0) != att_a.by_bucket.get(k, 0.0)
+    }
+    return {
+        "identical": identical,
+        "digest_a": dig_a,
+        "digest_b": dig_b,
+        "events_a": len(events_a),
+        "events_b": len(events_b),
+        "first_divergence": None if identical else first_divergence(
+            events_a, events_b
+        ),
+        "kind_deltas": kind_deltas,
+        "total_ns_a": att_a.total_ns,
+        "total_ns_b": att_b.total_ns,
+        "bucket_deltas": bucket_deltas,
+    }
+
+
+def render_diff(diff: dict, name_a: str = "A", name_b: str = "B") -> str:
+    """Plain-text diff report."""
+    lines = [f"trace diff: {name_a} vs {name_b}"]
+    if diff["identical"]:
+        lines.append(
+            f"  identical: {diff['events_a']} events, "
+            f"digest {diff['digest_a'][:16]}..."
+        )
+        return "\n".join(lines)
+    lines.append(
+        f"  DIVERGENT: {diff['events_a']} vs {diff['events_b']} events"
+    )
+    fd = diff["first_divergence"]
+    if fd is not None:
+        if fd["fields"] == ["<missing event>"]:
+            lines.append(
+                f"  first divergence at seq {fd['seq']}: common prefix "
+                f"identical, {fd['tail_events']} extra event(s) in "
+                f"{name_a if fd['tail_side'] == 'a' else name_b}"
+            )
+        else:
+            lines.append(
+                f"  first divergence at seq {fd['seq']}: "
+                f"kind {fd['kind_a']} vs {fd['kind_b']}, "
+                f"differing fields: {', '.join(fd['fields'])}"
+            )
+        if fd["event_a"] is not None:
+            lines.append(f"    {name_a}: {json.dumps(fd['event_a'], sort_keys=True)}")
+        if fd["event_b"] is not None:
+            lines.append(f"    {name_b}: {json.dumps(fd['event_b'], sort_keys=True)}")
+    if diff["kind_deltas"]:
+        lines.append("  event-count deltas (B - A):")
+        for k, d in diff["kind_deltas"].items():
+            lines.append(f"    {k:24s} {d:+d}")
+    d_total = diff["total_ns_b"] - diff["total_ns_a"]
+    lines.append(
+        f"  virtual time: {diff['total_ns_a']:.0f} ns vs "
+        f"{diff['total_ns_b']:.0f} ns ({d_total:+.0f} ns)"
+    )
+    if diff["bucket_deltas"]:
+        lines.append("  attribution-bucket deltas (B - A, ns):")
+        for k, d in diff["bucket_deltas"].items():
+            lines.append(f"    {k:24s} {d:+.1f}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    p = argparse.ArgumentParser(
+        prog="python -m repro.obs.diff",
+        description="Differential comparison of two trace JSONL files.",
+    )
+    p.add_argument("trace_a")
+    p.add_argument("trace_b")
+    p.add_argument(
+        "--json", action="store_true", help="emit the diff object as JSON"
+    )
+    args = p.parse_args(argv)
+    try:
+        _, events_a, warn_a = load_trace(args.trace_a)
+        _, events_b, warn_b = load_trace(args.trace_b)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    for w in warn_a:
+        print(f"warning [{args.trace_a}]: {w}", file=sys.stderr)
+    for w in warn_b:
+        print(f"warning [{args.trace_b}]: {w}", file=sys.stderr)
+    diff = diff_traces(events_a, events_b)
+    if args.json:
+        print(json.dumps(diff, sort_keys=True, indent=2))
+    else:
+        print(render_diff(diff, args.trace_a, args.trace_b))
+    return 0 if diff["identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

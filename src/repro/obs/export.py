@@ -1,0 +1,147 @@
+"""Exporters for telemetry series and metrics.
+
+Two formats:
+
+* **Canonical series JSONL** -- one header line (``schema`` +
+  metadata), then one line per window record with sorted keys and
+  minimal separators.  The SHA-256 digest covers the record lines only
+  (header excluded) with floats via ``repr`` -- exactly the stability
+  rules of trace digests -- so byte-identical series across engines is a
+  digest comparison.
+
+* **OpenMetrics / Prometheus text exposition** -- a point-in-time dump
+  of a :class:`~repro.obs.metrics.MetricsRegistry` (counters as
+  ``counter``, gauges as ``gauge``, histograms as ``summary`` with
+  quantile labels), terminated by ``# EOF``.  Metric names sanitize
+  dotted paths to underscores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable, Iterator
+
+from repro.errors import ObsError
+from repro.obs.timeseries import SERIES_SCHEMA
+
+
+# -- canonical series JSONL ----------------------------------------------------
+
+
+def series_lines(windows: Iterable[dict]) -> Iterator[str]:
+    """Canonical JSON line per window record (no header)."""
+    for rec in windows:
+        yield json.dumps(rec, sort_keys=True, separators=(",", ":"))
+
+
+def series_header(windows: list[dict], meta: dict | None = None) -> str:
+    return json.dumps(
+        {"schema": SERIES_SCHEMA, "windows": len(windows), **(meta or {})},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def series_jsonl(windows: list[dict], meta: dict | None = None) -> str:
+    """Header line plus one canonical line per window."""
+    body = "\n".join(series_lines(windows))
+    return series_header(windows, meta) + ("\n" + body if body else "") + "\n"
+
+
+def series_digest(windows: Iterable[dict]) -> str:
+    """SHA-256 over the canonical record lines (header excluded)."""
+    h = hashlib.sha256()
+    for line in series_lines(windows):
+        h.update(line.encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def write_series(path, windows: list[dict], meta: dict | None = None) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(series_jsonl(windows, meta))
+
+
+def read_series(path) -> tuple[dict, list[dict]]:
+    """Load a series file; returns ``(header, windows)``.  Rejects files
+    whose header declares a different schema."""
+    header: dict = {}
+    windows: list[dict] = []
+    with open(path, "r", encoding="utf-8") as f:
+        for raw in f:
+            raw = raw.strip()
+            if not raw:
+                continue
+            rec = json.loads(raw)
+            if "schema" in rec and "w" not in rec:
+                header = rec
+                if rec["schema"] != SERIES_SCHEMA:
+                    raise ObsError(
+                        f"unsupported series schema {rec['schema']!r}; "
+                        f"expected {SERIES_SCHEMA!r}"
+                    )
+            else:
+                windows.append(rec)
+    return header, windows
+
+
+# -- OpenMetrics text exposition -----------------------------------------------
+
+
+def _om_name(name: str) -> str:
+    """Sanitize a dotted metric path to an OpenMetrics name."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    s = "".join(out)
+    if not s or s[0].isdigit():
+        s = "_" + s
+    return s
+
+
+def to_openmetrics(registry, prefix: str = "repro") -> str:
+    """Render a :class:`~repro.obs.metrics.MetricsRegistry` snapshot as
+    OpenMetrics text (Prometheus exposition format)."""
+    snap = registry.snapshot()
+    lines: list[str] = []
+    for name, value in snap["counters"].items():
+        om = f"{prefix}_{_om_name(name)}"
+        lines.append(f"# TYPE {om} counter")
+        lines.append(f"{om}_total {value}")
+    for name, value in snap["gauges"].items():
+        om = f"{prefix}_{_om_name(name)}"
+        lines.append(f"# TYPE {om} gauge")
+        lines.append(f"{om} {value}")
+    for name, h in snap["histograms"].items():
+        om = f"{prefix}_{_om_name(name)}"
+        lines.append(f"# TYPE {om} summary")
+        for q, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            lines.append(f'{om}{{quantile="{q}"}} {h[key]}')
+        lines.append(f"{om}_sum {h['sum']}")
+        lines.append(f"{om}_count {h['count']}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def registry_from_series(windows: list[dict]):
+    """Fold a window series into a :class:`MetricsRegistry` (the final
+    cumulative counters as counters, per-window miss-wait percentiles as
+    one histogram over the whole series) for OpenMetrics export."""
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = MetricsRegistry()
+    if not windows:
+        return reg
+    last = windows[-1]
+    for key, value in last.items():
+        if key in ("w", "t", "partial") or key.startswith("mw_"):
+            continue
+        reg.counter(f"series.{key}").inc(value)
+    reg.gauge("series.windows").set(len(windows))
+    reg.gauge("series.end_t_ns").set(last["t"])
+    mw = reg.histogram("series.window_miss_wait_p95_ns")
+    for rec in windows:
+        if rec["mw_count"]:
+            mw.observe(rec["mw_p95"])
+    return reg

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import json
 
+from repro.errors import ObsError
+
 
 class Counter:
     """Monotonically increasing value."""
@@ -81,15 +83,17 @@ class Histogram:
 
     def snapshot(self) -> dict:
         if not self.count:
+            # explicit zeros, not None/inf: an empty histogram must export
+            # (OpenMetrics, series JSONL) without per-field null handling
             return {
                 "count": 0,
                 "sum": 0.0,
-                "min": None,
-                "max": None,
+                "min": 0.0,
+                "max": 0.0,
                 "mean": 0.0,
-                "p50": None,
-                "p95": None,
-                "p99": None,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
             }
         return {
             "count": self.count,
@@ -107,29 +111,45 @@ class MetricsRegistry:
     """Named metrics with get-or-create accessors.
 
     Names are dotted paths (``cache.main.hits``, ``net.bytes_read``);
-    a name is bound to one metric type for the registry's lifetime.
+    a name is bound to one metric type for the registry's lifetime --
+    requesting it again under a different type raises :class:`ObsError`
+    (silent aliasing would let two publishers race on one name).
     """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._types: dict[str, str] = {}
+
+    def _claim(self, name: str, kind: str) -> None:
+        bound = self._types.get(name)
+        if bound is None:
+            self._types[name] = kind
+        elif bound != kind:
+            raise ObsError(
+                f"metric {name!r} already registered as a {bound}; "
+                f"cannot re-register it as a {kind}"
+            )
 
     def counter(self, name: str) -> Counter:
         c = self._counters.get(name)
         if c is None:
+            self._claim(name, "counter")
             c = self._counters[name] = Counter()
         return c
 
     def gauge(self, name: str) -> Gauge:
         g = self._gauges.get(name)
         if g is None:
+            self._claim(name, "gauge")
             g = self._gauges[name] = Gauge()
         return g
 
     def histogram(self, name: str) -> Histogram:
         h = self._histograms.get(name)
         if h is None:
+            self._claim(name, "histogram")
             h = self._histograms[name] = Histogram()
         return h
 

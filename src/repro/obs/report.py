@@ -17,13 +17,22 @@ Usage::
     python -m repro.obs.report trace.jsonl --attribution    # exclusive buckets
     python -m repro.obs.report trace.jsonl --critical-path  # dominant chain
     python -m repro.obs.report trace.jsonl --flame          # collapsed stacks
+    python -m repro.obs.report trace.jsonl --timeseries     # windowed series JSONL
+    python -m repro.obs.report trace.jsonl --slo            # SLO verdict
+    python -m repro.obs.report trace.jsonl --openmetrics    # Prometheus text
     python -m repro.obs.report --check                      # perf-regression gate
 
 ``--flame`` output pipes straight into ``flamegraph.pl`` or loads in
-speedscope.  ``--check`` needs no trace: it delegates to
+speedscope.  ``--timeseries`` folds the events into the canonical
+windowed series (:mod:`repro.obs.timeseries`, window set by
+``--window-ns``); ``--slo`` evaluates an :class:`repro.obs.slo.SloSpec`
+(from ``--slo-spec FILE.json``, or a permissive built-in default) over
+that series; ``--openmetrics`` exports the series totals in OpenMetrics
+text format.  ``--check`` needs no trace: it delegates to
 :mod:`repro.obs.regress` against the committed BENCH baselines.
 Malformed trailing lines (truncated traces) are skipped with a warning;
-an unreadable input file exits 2.
+an unreadable input file exits 2, as does a trace whose header is
+missing or declares an unsupported schema version.
 """
 
 from __future__ import annotations
@@ -31,7 +40,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.obs.trace import digest_of_events, load_trace
+from repro.obs.trace import SCHEMA, digest_of_events, load_trace
 
 #: event kinds counted as cache activity inside a phase
 _MISS_KINDS = frozenset({"cache.miss", "swap.fault"})
@@ -288,7 +297,41 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="collapsed-stack output (flamegraph.pl / speedscope)",
     )
-    ap.add_argument("--out", default=None, help="write --flame output to a file")
+    ap.add_argument(
+        "--out",
+        default=None,
+        help="write --flame/--timeseries/--openmetrics output to a file",
+    )
+    ap.add_argument(
+        "--timeseries",
+        action="store_true",
+        help="fold events into the canonical windowed series (JSONL + digest)",
+    )
+    ap.add_argument(
+        "--slo",
+        action="store_true",
+        help="evaluate an SLO spec over the windowed series",
+    )
+    ap.add_argument(
+        "--slo-spec",
+        default=None,
+        dest="slo_spec",
+        help="JSON file holding SloSpec fields (default: a permissive "
+        "built-in spec: miss_rate<=0.5, stall_fraction<=0.95)",
+    )
+    ap.add_argument(
+        "--openmetrics",
+        action="store_true",
+        help="export the series totals in OpenMetrics/Prometheus text format",
+    )
+    ap.add_argument(
+        "--window-ns",
+        type=float,
+        default=1_000_000.0,
+        dest="window_ns",
+        help="window width in virtual ns for --timeseries/--slo/--openmetrics "
+        "(default 1e6)",
+    )
     ap.add_argument(
         "--check",
         action="store_true",
@@ -332,6 +375,75 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for w in warnings:
         print(f"report: warning: {w}", file=sys.stderr)
+
+    # schema gate: refuse traces from another schema version (or with no
+    # header at all) instead of misreading them.  A completely empty file
+    # still reports cleanly (nothing to misinterpret).
+    if header:
+        if header.get("schema") != SCHEMA:
+            print(
+                f"report: {args.trace}: unsupported trace schema "
+                f"{header.get('schema')!r}; this tool reads {SCHEMA!r}",
+                file=sys.stderr,
+            )
+            return 2
+    elif events:
+        print(
+            f"report: {args.trace}: missing schema header; expected a first "
+            f"line declaring {SCHEMA!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.timeseries or args.slo or args.openmetrics:
+        from repro.obs.timeseries import series_from_events
+
+        try:
+            series = series_from_events(events, args.window_ns)
+        except Exception as e:
+            print(f"report: cannot build series: {e}", file=sys.stderr)
+            return 2
+        out_text = None
+        if args.timeseries:
+            from repro.obs.export import series_digest, series_jsonl
+
+            out_text = series_jsonl(series)
+            print(f"series digest: {series_digest(series)}", file=sys.stderr)
+        elif args.openmetrics:
+            from repro.obs.export import registry_from_series, to_openmetrics
+
+            out_text = to_openmetrics(registry_from_series(series))
+        if out_text is not None:
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as f:
+                    f.write(out_text)
+                print(f"wrote {args.out} ({len(series)} windows)")
+            else:
+                sys.stdout.write(out_text)
+        if args.slo:
+            import json
+
+            from repro.obs.slo import SloSpec, evaluate, render_verdict
+
+            from repro.errors import ObsError
+
+            if args.slo_spec:
+                try:
+                    with open(args.slo_spec, "r", encoding="utf-8") as f:
+                        spec = SloSpec.from_dict(json.load(f))
+                except (OSError, ValueError, TypeError, ObsError) as e:
+                    print(
+                        f"report: cannot load SLO spec {args.slo_spec}: {e}",
+                        file=sys.stderr,
+                    )
+                    return 2
+            else:
+                spec = SloSpec(miss_rate=0.5, stall_fraction=0.95)
+            verdict = evaluate(series, spec)
+            print(render_verdict(verdict))
+            print(f"verdict digest: {verdict.digest()}")
+            return 0 if verdict.ok else 1
+        return 0
 
     if args.flame:
         from repro.obs.analyze import analyze_events, collapsed_stacks

@@ -1,0 +1,212 @@
+"""SLO engine: declarative objectives evaluated over a telemetry series.
+
+An :class:`SloSpec` declares per-window objectives -- miss-wait
+percentile targets, a miss-rate budget, a stall-fraction budget -- plus
+an *error budget*: the fraction of windows allowed to violate at least
+one objective.  :func:`evaluate` walks a series (live
+:class:`~repro.obs.timeseries.TelemetryCollector` output or
+:func:`~repro.obs.timeseries.series_from_events`) and produces an
+:class:`SloVerdict`:
+
+* a window is **bad** iff it violates any declared objective;
+* ``bad_fraction`` = bad windows / evaluated windows;
+* ``burn_rate`` = ``bad_fraction / error_budget`` (SRE convention: a burn
+  rate above 1.0 spends the budget faster than allowed, so the run
+  **fails** its SLO; exactly 1.0 passes on the boundary).
+
+Rate objectives (miss rate, stall fraction) are computed from per-window
+*deltas* of the cumulative record counters, so a bad early phase cannot
+hide inside a good average.  Percentile objectives use the per-window
+``mw_p50/p95/p99`` fields, which the collector computes from the waits
+observed inside that window only.
+
+Verdicts serialize canonically (sorted keys, minimal separators) and
+carry a SHA-256 digest with the same stability rules as trace digests,
+so "same workload, same seed, same spec => same verdict bytes" is
+testable across engines.  This is the per-tenant evaluation substrate
+the multi-tenant far-memory pool (ROADMAP) will reuse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ObsError
+
+#: objective keys, in evaluation (and rendering) order
+OBJECTIVES = ("p50_ns", "p95_ns", "p99_ns", "miss_rate", "stall_fraction")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """Per-window objectives plus the error budget.  ``None`` disables an
+    objective; a spec with every objective disabled is rejected."""
+
+    name: str = "default"
+    #: per-window miss-wait percentile ceilings (virtual ns)
+    p50_ns: float | None = None
+    p95_ns: float | None = None
+    p99_ns: float | None = None
+    #: ceiling on (delta misses / delta accesses); windows with no
+    #: accesses trivially satisfy it
+    miss_rate: float | None = None
+    #: ceiling on (delta miss_wait_ns / window span)
+    stall_fraction: float | None = None
+    #: allowed fraction of violating windows
+    error_budget: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.error_budget <= 1.0:
+            raise ObsError(
+                f"error_budget must be in (0, 1], got {self.error_budget}"
+            )
+        if all(getattr(self, k) is None for k in OBJECTIVES):
+            raise ObsError("SloSpec declares no objectives")
+        for k in OBJECTIVES:
+            v = getattr(self, k)
+            if v is not None and v < 0:
+                raise ObsError(f"objective {k} must be >= 0, got {v}")
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SloSpec":
+        """Build a spec from JSON-ish input, rejecting unknown keys."""
+        allowed = {"name", "error_budget", *OBJECTIVES}
+        unknown = set(d) - allowed
+        if unknown:
+            raise ObsError(f"unknown SloSpec keys: {sorted(unknown)}")
+        return cls(**d)
+
+
+@dataclass
+class SloVerdict:
+    """The outcome of evaluating one spec over one series."""
+
+    spec: SloSpec
+    windows: int
+    bad_windows: int
+    bad_fraction: float
+    burn_rate: float
+    ok: bool
+    #: one entry per (window, objective) violation, evaluation order
+    violations: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": {
+                "name": self.spec.name,
+                "error_budget": self.spec.error_budget,
+                **{
+                    k: getattr(self.spec, k)
+                    for k in OBJECTIVES
+                    if getattr(self.spec, k) is not None
+                },
+            },
+            "windows": self.windows,
+            "bad_windows": self.bad_windows,
+            "bad_fraction": self.bad_fraction,
+            "burn_rate": self.burn_rate,
+            "ok": self.ok,
+            "violations": self.violations,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, minimal separators)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON (same stability rules as trace
+        digests: floats via ``repr``, platform-independent)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+
+def evaluate(series: list[dict], spec: SloSpec) -> SloVerdict:
+    """Evaluate a spec over a window series (oldest record first)."""
+    bad = 0
+    violations: list[dict] = []
+    prev_t = None
+    prev_acc = prev_miss = 0
+    prev_wait = 0.0
+    for rec in series:
+        t = rec["t"]
+        if prev_t is None:
+            # first surviving record: a full window's span is exactly
+            # t/(w+1); a lone partial record spans from 0; a partial
+            # record after ring-buffer loss has an unknown span, so its
+            # stall objective is skipped (span 0)
+            if rec["w"] == 0:
+                span = t
+            elif not rec.get("partial"):
+                span = t / (rec["w"] + 1)
+            else:
+                span = 0.0
+        else:
+            span = t - prev_t
+        window_bad = False
+
+        def check(objective: str, value: float, target: float) -> None:
+            nonlocal window_bad
+            if value > target:
+                window_bad = True
+                violations.append(
+                    {
+                        "w": rec["w"],
+                        "t": t,
+                        "objective": objective,
+                        "value": value,
+                        "target": target,
+                    }
+                )
+
+        for pkey in ("p50_ns", "p95_ns", "p99_ns"):
+            target = getattr(spec, pkey)
+            if target is not None and rec["mw_count"]:
+                check(pkey, rec[f"mw_{pkey[:3]}"], target)
+        d_acc = rec["accesses"] - prev_acc
+        d_miss = rec["misses"] - prev_miss
+        d_wait = rec["miss_wait_ns"] - prev_wait
+        if spec.miss_rate is not None and d_acc > 0:
+            check("miss_rate", d_miss / d_acc, spec.miss_rate)
+        if spec.stall_fraction is not None and span > 0:
+            check("stall_fraction", d_wait / span, spec.stall_fraction)
+        if window_bad:
+            bad += 1
+        prev_t = t
+        prev_acc, prev_miss, prev_wait = (
+            rec["accesses"], rec["misses"], rec["miss_wait_ns"],
+        )
+    n = len(series)
+    bad_fraction = bad / n if n else 0.0
+    burn_rate = bad_fraction / spec.error_budget
+    return SloVerdict(
+        spec=spec,
+        windows=n,
+        bad_windows=bad,
+        bad_fraction=bad_fraction,
+        burn_rate=burn_rate,
+        ok=burn_rate <= 1.0,
+        violations=violations,
+    )
+
+
+def render_verdict(verdict: SloVerdict) -> str:
+    """Plain-text verdict block for the report CLI."""
+    s = verdict.spec
+    targets = ", ".join(
+        f"{k}<={getattr(s, k)}" for k in OBJECTIVES if getattr(s, k) is not None
+    )
+    lines = [
+        f"SLO {s.name!r}: {'PASS' if verdict.ok else 'FAIL'} "
+        f"({verdict.bad_windows}/{verdict.windows} bad windows, "
+        f"budget {s.error_budget:.1%}, burn rate {verdict.burn_rate:.2f})",
+        f"  objectives: {targets}",
+    ]
+    for v in verdict.violations[:20]:
+        lines.append(
+            f"  violated w={v['w']} t={v['t']:.0f}: {v['objective']} "
+            f"{v['value']:.4g} > {v['target']:.4g}"
+        )
+    if len(verdict.violations) > 20:
+        lines.append(f"  ... and {len(verdict.violations) - 20} more")
+    return "\n".join(lines)

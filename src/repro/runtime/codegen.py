@@ -300,6 +300,13 @@ class _FunctionLowering:
         self.out(f"_clk._now += {amt_expr}")
         self.out(f"{bd} = _clk._breakdown")
         self.out(f"{bd}[{category!r}] = {bd}.get({category!r}, 0.0) + {amt_expr}")
+        # the telemetry tick check advance() performs; keeps window-boundary
+        # detection ordered identically to the reference engine (one float
+        # compare against +inf when telemetry is off)
+        self.out(
+            "if _clk._now >= _clk._next_tick:"
+            " _clk._next_tick = _clk._tick_cb(_clk._now)"
+        )
 
     # -- loop-invariant data hoisting --------------------------------------
 

@@ -1,0 +1,160 @@
+"""Differential trace comparison: first-divergence pinpointing, count
+and attribution deltas, and the CLI contract (0 identical / 1 divergent /
+2 unreadable)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import BASELINE_SYSTEMS, ModuleMemo
+from repro.core import run_on_baseline
+from repro.memsim.cost_model import CostModel
+from repro.obs import Tracer
+from repro.obs.diff import diff_traces, first_divergence, main, render_diff
+from repro.workloads import make_workload
+
+COST = CostModel()
+
+
+@pytest.fixture(scope="module")
+def trace_events() -> list[dict]:
+    workload = make_workload("array_sum", num_elems=1024)
+    memo = ModuleMemo(workload)
+    tracer = Tracer()
+    run_on_baseline(
+        memo.module,
+        BASELINE_SYSTEMS["fastswap"](COST, max(4096, memo.footprint_bytes // 4)),
+        workload.data_init,
+        entry=workload.entry,
+        tracer=tracer,
+    )
+    return [json.loads(line) for line in tracer.lines()]
+
+
+def _write_trace(path, events) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(json.dumps({"schema": "repro.obs/v1", "events": len(events)}))
+        f.write("\n")
+        for rec in events:
+            f.write(json.dumps(rec, sort_keys=True, separators=(",", ":")))
+            f.write("\n")
+
+
+# -- library -------------------------------------------------------------------
+
+
+def test_self_diff_is_identical(trace_events):
+    diff = diff_traces(trace_events, trace_events)
+    assert diff["identical"] is True
+    assert diff["first_divergence"] is None
+    assert diff["kind_deltas"] == {} and diff["bucket_deltas"] == {}
+    assert diff["digest_a"] == diff["digest_b"]
+    assert diff["events_a"] == diff["events_b"] == len(trace_events)
+
+
+def test_first_divergence_pinpoints_mutated_field(trace_events):
+    # mutate one numeric field of one mid-stream event
+    mutated = [dict(rec) for rec in trace_events]
+    idx = len(mutated) // 2
+    mutated[idx]["t"] = mutated[idx]["t"] + 123.0
+    diff = diff_traces(trace_events, mutated)
+    assert diff["identical"] is False
+    fd = diff["first_divergence"]
+    assert fd["seq"] == idx
+    assert fd["kind_a"] == fd["kind_b"] == trace_events[idx]["k"]
+    assert fd["fields"] == ["t"]
+    assert fd["event_b"]["t"] == trace_events[idx]["t"] + 123.0
+    # a pure value change leaves the per-kind counts alone
+    assert diff["kind_deltas"] == {}
+
+
+def test_first_divergence_reports_kind_change(trace_events):
+    mutated = [dict(rec) for rec in trace_events]
+    idx = next(i for i, r in enumerate(mutated) if r["k"] == "swap.fault")
+    mutated[idx]["k"] = "cache.hit"
+    diff = diff_traces(trace_events, mutated)
+    fd = diff["first_divergence"]
+    assert fd["seq"] == idx
+    assert (fd["kind_a"], fd["kind_b"]) == ("swap.fault", "cache.hit")
+    assert "k" in fd["fields"]
+    assert diff["kind_deltas"]["cache.hit"] == 1
+    assert diff["kind_deltas"]["swap.fault"] == -1
+
+
+def test_first_divergence_ignores_sequence_index_field(trace_events):
+    renumbered = [dict(rec, i=rec.get("i", 0) + 1000) for rec in trace_events]
+    assert first_divergence(trace_events, renumbered) is None
+
+
+def test_truncated_trace_reports_missing_tail(trace_events):
+    truncated = trace_events[:-3]
+    diff = diff_traces(trace_events, truncated)
+    fd = diff["first_divergence"]
+    assert fd["fields"] == ["<missing event>"]
+    assert fd["seq"] == len(truncated)
+    assert fd["tail_side"] == "a" and fd["tail_events"] == 3
+    assert fd["event_b"] is None
+    assert fd["kind_a"] == trace_events[len(truncated)]["k"]
+
+
+def test_bucket_deltas_reflect_wait_change(trace_events):
+    mutated = [dict(rec) for rec in trace_events]
+    idx = next(i for i, r in enumerate(mutated) if r["k"] == "swap.fault")
+    mutated[idx]["wait"] = mutated[idx].get("wait", 0.0) + 500.0
+    diff = diff_traces(trace_events, mutated)
+    assert not diff["identical"]
+    assert any(d != 0 for d in diff["bucket_deltas"].values())
+
+
+def test_render_diff_text(trace_events):
+    same = render_diff(diff_traces(trace_events, trace_events), "x", "y")
+    assert "identical" in same and "x vs y" in same
+    mutated = [dict(rec) for rec in trace_events]
+    mutated[5]["t"] = -1.0
+    text = render_diff(diff_traces(trace_events, mutated))
+    assert "DIVERGENT" in text
+    assert "first divergence at seq 5" in text
+    assert "differing fields: t" in text
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def test_cli_exit_0_on_identical(tmp_path, capsys, trace_events):
+    a = tmp_path / "a.jsonl"
+    _write_trace(a, trace_events)
+    assert main([str(a), str(a)]) == 0
+    assert "identical" in capsys.readouterr().out
+
+
+def test_cli_exit_1_on_divergent_with_pinpoint(tmp_path, capsys, trace_events):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    _write_trace(a, trace_events)
+    mutated = [dict(rec) for rec in trace_events]
+    idx = len(mutated) // 3
+    mutated[idx]["t"] = mutated[idx]["t"] + 7.0
+    _write_trace(b, mutated)
+    assert main([str(a), str(b)]) == 1
+    out = capsys.readouterr().out
+    assert f"first divergence at seq {idx}" in out
+    assert "differing fields: t" in out
+
+
+def test_cli_json_output(tmp_path, capsys, trace_events):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    _write_trace(a, trace_events)
+    _write_trace(b, trace_events[:-1])
+    assert main([str(a), str(b), "--json"]) == 1
+    diff = json.loads(capsys.readouterr().out)
+    assert diff["identical"] is False
+    assert diff["first_divergence"]["fields"] == ["<missing event>"]
+    assert diff["events_a"] - diff["events_b"] == 1
+
+
+def test_cli_exit_2_on_unreadable_file(tmp_path, capsys, trace_events):
+    a = tmp_path / "a.jsonl"
+    _write_trace(a, trace_events)
+    assert main([str(a), str(tmp_path / "nope.jsonl")]) == 2
+    assert "cannot read trace" in capsys.readouterr().err

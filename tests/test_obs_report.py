@@ -13,7 +13,7 @@ from repro.obs.report import (
     phase_timeline,
     render_report,
 )
-from repro.obs.trace import Tracer, load_trace
+from repro.obs.trace import SCHEMA, Tracer, load_trace
 
 
 # -- phase timeline: nested same-label spans (regression) ----------------------
@@ -124,6 +124,38 @@ def test_cli_exit_2_without_trace_arg(capsys):
     assert "required" in capsys.readouterr().err
 
 
+# -- schema-version gate (malformed headers exit 2, not a traceback) -----------
+
+
+def test_cli_exit_2_on_unknown_schema_version(tmp_path, capsys):
+    p = tmp_path / "future.jsonl"
+    p.write_text(
+        json.dumps({"schema": "repro.obs/v99", "events": 1}) + "\n"
+        + json.dumps({"i": 0, "k": "cache.hit", "t": 1.0, "sec": "s"}) + "\n"
+    )
+    assert report_main([str(p)]) == 2
+    err = capsys.readouterr().err
+    assert "unsupported trace schema" in err and "repro.obs/v99" in err
+
+
+def test_cli_exit_2_on_events_without_header(tmp_path, capsys):
+    p = tmp_path / "headerless.jsonl"
+    p.write_text(
+        json.dumps({"i": 0, "k": "cache.hit", "t": 1.0, "sec": "s"}) + "\n"
+    )
+    assert report_main([str(p)]) == 2
+    assert "missing schema header" in capsys.readouterr().err
+
+
+def test_cli_unknown_schema_beats_other_modes(tmp_path, capsys):
+    """The gate fires before any analysis mode touches the events."""
+    p = tmp_path / "future.jsonl"
+    p.write_text(json.dumps({"schema": "repro.obs/v99", "events": 0}) + "\n")
+    for mode in ("--attribution", "--timeseries", "--slo", "--openmetrics"):
+        assert report_main([str(p), mode]) == 2, mode
+        capsys.readouterr()
+
+
 # -- fault summary -------------------------------------------------------------
 
 
@@ -186,6 +218,7 @@ def _run_trace(tmp_path):
     ]
     p = tmp_path / "t.jsonl"
     with open(p, "w", encoding="utf-8") as f:
+        f.write(json.dumps({"schema": SCHEMA, "events": len(events)}) + "\n")
         for i, ev in enumerate(events):
             f.write(json.dumps({"i": i, **ev}, sort_keys=True) + "\n")
     return p
@@ -222,3 +255,57 @@ def test_cli_flame_to_stdout_and_file(tmp_path, capsys):
     folded = tmp_path / "t.folded"
     assert report_main([str(p), "--flame", "--out", str(folded)]) == 0
     assert folded.read_text().splitlines() == lines
+
+
+# -- telemetry modes (--timeseries / --slo / --openmetrics) --------------------
+
+
+def test_cli_timeseries_mode(tmp_path, capsys):
+    p = _run_trace(tmp_path)
+    assert report_main([str(p), "--timeseries", "--window-ns", "50"]) == 0
+    captured = capsys.readouterr()
+    lines = [json.loads(l) for l in captured.out.splitlines()]
+    assert lines[0]["schema"] == "repro.obs.series/v1"
+    assert lines[0]["windows"] == len(lines) - 1
+    assert lines[-1]["partial"] is True
+    assert "series digest: " in captured.err
+
+    out = tmp_path / "series.jsonl"
+    assert report_main(
+        [str(p), "--timeseries", "--window-ns", "50", "--out", str(out)]
+    ) == 0
+    assert out.read_text().splitlines() == captured.out.splitlines()
+
+
+def test_cli_slo_mode_with_spec_file(tmp_path, capsys):
+    p = _run_trace(tmp_path)
+    spec = tmp_path / "slo.json"
+    spec.write_text(json.dumps({"name": "strict", "miss_rate": 0.0}))
+    # the trace has one miss: the strict spec must fail (exit 1)
+    assert report_main(
+        [str(p), "--slo", "--slo-spec", str(spec), "--window-ns", "50"]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "SLO 'strict': FAIL" in out and "miss_rate" in out
+    assert "verdict digest: " in out
+
+    # default built-in spec is permissive: passes (exit 0)
+    assert report_main([str(p), "--slo", "--window-ns", "50"]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_cli_slo_rejects_bad_spec_file(tmp_path, capsys):
+    p = _run_trace(tmp_path)
+    spec = tmp_path / "bad.json"
+    spec.write_text(json.dumps({"nope": 1}))
+    assert report_main([str(p), "--slo", "--slo-spec", str(spec)]) == 2
+    assert "cannot load SLO spec" in capsys.readouterr().err
+
+
+def test_cli_openmetrics_mode(tmp_path, capsys):
+    p = _run_trace(tmp_path)
+    assert report_main([str(p), "--openmetrics", "--window-ns", "50"]) == 0
+    out = capsys.readouterr().out
+    assert out.endswith("# EOF\n")
+    assert "# TYPE repro_series_accesses counter" in out
+    assert "repro_series_accesses_total 2" in out  # one hit + one miss

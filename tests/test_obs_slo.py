@@ -1,0 +1,177 @@
+"""SLO engine: spec validation, per-window delta math, burn-rate
+semantics, and canonical verdict serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import SloSpec, evaluate, render_verdict
+
+
+def _rec(w, t, partial=False, accesses=0, misses=0, miss_wait_ns=0.0,
+         mw_count=0, mw_p50=0.0, mw_p95=0.0, mw_p99=0.0):
+    """A minimal series record carrying only the fields evaluate() reads."""
+    return {
+        "w": w, "t": t, "partial": partial,
+        "accesses": accesses, "misses": misses,
+        "miss_wait_ns": miss_wait_ns,
+        "mw_count": mw_count, "mw_p50": mw_p50,
+        "mw_p95": mw_p95, "mw_p99": mw_p99,
+    }
+
+
+# -- spec validation -----------------------------------------------------------
+
+
+def test_spec_rejects_unknown_keys():
+    with pytest.raises(ObsError, match="unknown SloSpec keys.*latency"):
+        SloSpec.from_dict({"latency": 5})
+
+
+def test_spec_rejects_no_objectives():
+    with pytest.raises(ObsError, match="declares no objectives"):
+        SloSpec(name="empty")
+
+
+def test_spec_rejects_bad_error_budget():
+    with pytest.raises(ObsError, match="error_budget"):
+        SloSpec(miss_rate=0.1, error_budget=0.0)
+    with pytest.raises(ObsError, match="error_budget"):
+        SloSpec(miss_rate=0.1, error_budget=1.5)
+    SloSpec(miss_rate=0.1, error_budget=1.0)  # boundary is legal
+
+
+def test_spec_rejects_negative_objective():
+    with pytest.raises(ObsError, match="p95_ns must be >= 0"):
+        SloSpec(p95_ns=-1.0)
+
+
+def test_spec_from_dict_roundtrip():
+    spec = SloSpec.from_dict(
+        {"name": "x", "p95_ns": 100.0, "miss_rate": 0.2, "error_budget": 0.25}
+    )
+    assert spec.p95_ns == 100.0 and spec.p99_ns is None
+    assert spec.error_budget == 0.25
+
+
+# -- burn-rate math ------------------------------------------------------------
+
+
+def test_rates_use_per_window_deltas_not_cumulative_averages():
+    """Window 2's delta miss rate is 100% even though the cumulative
+    average by then is only ~33%: a bad phase cannot hide in the mean."""
+    series = [
+        _rec(0, 100.0, accesses=100, misses=0),
+        _rec(1, 200.0, accesses=200, misses=0),
+        _rec(2, 300.0, accesses=300, misses=100),
+    ]
+    verdict = evaluate(series, SloSpec(miss_rate=0.5, error_budget=1.0))
+    assert verdict.bad_windows == 1
+    (v,) = verdict.violations
+    assert v == {"w": 2, "t": 300.0, "objective": "miss_rate",
+                 "value": 1.0, "target": 0.5}
+
+
+def test_burn_rate_boundary_passes_and_above_fails():
+    series = [
+        _rec(0, 100.0, accesses=10, misses=10),  # bad
+        _rec(1, 200.0, accesses=20, misses=10),  # good (delta 0/10)
+    ]
+    on_budget = evaluate(series, SloSpec(miss_rate=0.5, error_budget=0.5))
+    assert on_budget.bad_fraction == 0.5
+    assert on_budget.burn_rate == 1.0 and on_budget.ok  # exactly 1.0 passes
+    over = evaluate(series, SloSpec(miss_rate=0.5, error_budget=0.25))
+    assert over.burn_rate == 2.0 and not over.ok
+
+
+def test_stall_fraction_uses_window_span():
+    series = [
+        _rec(0, 100.0, miss_wait_ns=10.0),   # 10% stalled
+        _rec(1, 200.0, miss_wait_ns=90.0),   # delta 80 over span 100
+    ]
+    verdict = evaluate(series, SloSpec(stall_fraction=0.5, error_budget=1.0))
+    assert [v["w"] for v in verdict.violations] == [1]
+    assert verdict.violations[0]["value"] == pytest.approx(0.8)
+
+
+def test_percentile_objectives_skip_empty_windows():
+    """mw_p95 is 0.0 when no waits were observed; that must read as "no
+    data", not as a pass/fail sample."""
+    series = [
+        _rec(0, 100.0, mw_count=0, mw_p95=0.0),
+        _rec(1, 200.0, mw_count=4, mw_p95=500.0),
+    ]
+    verdict = evaluate(series, SloSpec(p95_ns=100.0, error_budget=1.0))
+    assert [v["w"] for v in verdict.violations] == [1]
+    assert verdict.violations[0]["objective"] == "p95_ns"
+
+
+def test_first_record_span_rules():
+    # lone partial record starting at w=0 spans from t=0
+    lone = [_rec(0, 50.0, partial=True, miss_wait_ns=40.0)]
+    v = evaluate(lone, SloSpec(stall_fraction=0.5, error_budget=1.0))
+    assert v.bad_windows == 1  # 40/50 > 0.5
+    # first survivor after ring loss: full window w=3 => span t/(w+1)
+    survivor = [_rec(3, 400.0, miss_wait_ns=90.0)]
+    v = evaluate(survivor, SloSpec(stall_fraction=0.5, error_budget=1.0))
+    assert v.bad_windows == 1  # 90/100 > 0.5
+    # partial survivor after ring loss: unknown span => stall skipped
+    partial = [_rec(3, 400.0, partial=True, miss_wait_ns=1e9)]
+    v = evaluate(partial, SloSpec(stall_fraction=0.5, error_budget=1.0))
+    assert v.bad_windows == 0
+
+
+def test_window_with_multiple_violations_counts_once():
+    series = [_rec(0, 100.0, accesses=10, misses=10, miss_wait_ns=90.0,
+                   mw_count=10, mw_p95=9.0)]
+    spec = SloSpec(p95_ns=1.0, miss_rate=0.1, stall_fraction=0.1,
+                   error_budget=1.0)
+    verdict = evaluate(series, spec)
+    assert verdict.bad_windows == 1
+    assert len(verdict.violations) == 3
+    # evaluation order: percentiles, then rates
+    assert [v["objective"] for v in verdict.violations] == [
+        "p95_ns", "miss_rate", "stall_fraction"
+    ]
+
+
+def test_empty_series_is_trivially_ok():
+    verdict = evaluate([], SloSpec(miss_rate=0.1))
+    assert verdict.windows == 0 and verdict.bad_windows == 0
+    assert verdict.bad_fraction == 0.0 and verdict.burn_rate == 0.0
+    assert verdict.ok
+
+
+# -- serialization -------------------------------------------------------------
+
+
+def test_verdict_json_is_canonical_and_digest_stable():
+    series = [
+        _rec(0, 100.0, accesses=10, misses=8),
+        _rec(1, 200.0, accesses=30, misses=8),
+    ]
+    spec = SloSpec(name="canon", miss_rate=0.5, error_budget=0.5)
+    a, b = evaluate(series, spec), evaluate(series, spec)
+    assert a.to_json() == b.to_json()
+    assert a.digest() == b.digest()
+    d = json.loads(a.to_json())
+    assert d["ok"] is True and d["bad_windows"] == 1
+    # disabled objectives are omitted from the serialized spec
+    assert set(d["spec"]) == {"name", "error_budget", "miss_rate"}
+    # digest is sensitive to the spec, not just the outcome
+    other = evaluate(series, SloSpec(name="canon", miss_rate=0.6,
+                                     error_budget=0.5))
+    assert other.digest() != a.digest()
+
+
+def test_render_verdict_mentions_outcome_and_violations():
+    series = [_rec(0, 100.0, accesses=10, misses=10)]
+    text = render_verdict(evaluate(series, SloSpec(name="r", miss_rate=0.1,
+                                                   error_budget=0.1)))
+    assert "SLO 'r': FAIL" in text
+    assert "miss_rate" in text and "violated w=0" in text
+    ok_text = render_verdict(evaluate(series, SloSpec(name="r", miss_rate=1.0)))
+    assert "SLO 'r': PASS" in ok_text

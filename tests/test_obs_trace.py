@@ -125,11 +125,32 @@ def test_registry_get_or_create_and_snapshot():
 
 def test_empty_histogram_snapshot():
     h = MetricsRegistry().histogram("x")
+    # explicit zero percentiles (not None): an empty histogram must export
+    # to OpenMetrics / series JSONL without per-field null handling
     assert h.snapshot() == {
-        "count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0,
-        "p50": None, "p95": None, "p99": None,
+        "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        "p50": 0.0, "p95": 0.0, "p99": 0.0,
     }
-    assert h.percentile(50) is None
+    assert h.percentile(50) is None  # the raw accessor still signals "no data"
+
+
+def test_registry_rejects_type_conflicts():
+    from repro.errors import ObsError
+
+    reg = MetricsRegistry()
+    reg.counter("net.ops")
+    reg.gauge("cache.size")
+    reg.histogram("wait.ns")
+    # same name under the same type: get-or-create, no error
+    assert reg.counter("net.ops") is reg.counter("net.ops")
+    with pytest.raises(ObsError, match="already registered as a counter"):
+        reg.gauge("net.ops")
+    with pytest.raises(ObsError, match="already registered as a gauge"):
+        reg.histogram("cache.size")
+    with pytest.raises(ObsError, match="already registered as a histogram"):
+        reg.counter("wait.ns")
+    # the failed registration must not leave a phantom metric behind
+    assert "net.ops" not in reg.snapshot()["gauges"]
 
 
 def test_histogram_exact_percentiles():
